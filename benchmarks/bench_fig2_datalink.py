@@ -1,0 +1,38 @@
+"""Experiment F2 — the 4K↔77K main-memory datalink (Fig. 2b).
+
+Regenerates the baseline wire tables and the headline 30 TBps bidirectional
+bandwidth (20 TBps downlink towards 4 K, 10 TBps uplink towards 77 K).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import datalink_table
+from repro.interconnect.datalink import baseline_datalink
+
+
+def test_datalink_baseline(run_once):
+    spec = run_once(baseline_datalink)
+    print()
+    for row in datalink_table(spec):
+        print(f"  {row[0]:16s} {row[1]:36s} {row[2]}")
+    assert spec.downlink.n_wires == 20_000
+    assert spec.uplink.n_wires == 10_000
+    assert abs(spec.downlink_bandwidth - 20e12) < 1e9
+    assert abs(spec.uplink_bandwidth - 10e12) < 1e9
+    assert abs(spec.bidirectional_bandwidth - 30e12) < 1e9
+
+
+def test_datalink_scaling(run_once):
+    def scaled_bandwidths():
+        base = baseline_datalink()
+        return [
+            base.scaled(factor).bidirectional_bandwidth
+            for factor in (0.5, 1.0, 2.0, 4.0)
+        ]
+
+    values = run_once(scaled_bandwidths)
+    # The paper: bandwidth "can be increased or decreased based on the power
+    # budget, available metal layers, channel reach, ..."
+    assert values == sorted(values)
+    assert abs(values[1] - 30e12) < 1e9
+    assert abs(values[3] - 120e12) < 1e9

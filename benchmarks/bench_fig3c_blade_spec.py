@@ -1,0 +1,52 @@
+"""Experiment F3 — the SCD blade baseline specification (Fig. 3c).
+
+Every row of the Fig. 3c table is *derived* bottom-up from the substrate
+models and asserted against the paper's values, including both packaging
+tables (chip-to-chip link and 4K interposer).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_two_column
+from repro.arch.blade import build_blade
+from repro.interconnect.packaging import chip_to_chip_link, interposer_4k
+
+
+def test_blade_spec(run_once):
+    blade = run_once(build_blade)
+    print()
+    print(render_two_column(blade.spec_rows(), ("Parameter", "Baseline Value")))
+
+    # Fig. 3c row-by-row.
+    assert 2.4e15 <= blade.peak_flops_per_spu <= 2.5e15  # ~2.45 PFLOPs
+    assert blade.n_spus == 64  # 8x8
+    assert 23e6 <= blade.l1_capacity_bytes <= 25e6  # 24 MB
+    assert abs(blade.l2_capacity_bytes - 3.375e9) < 1e6  # 3.375 GB
+    assert 0.45e12 <= blade.dram_bandwidth_per_spu <= 0.48e12  # ~0.47 TBps
+    assert abs(blade.dram.capacity_bytes - 2.048e12) < 1e9  # 2 TB
+    assert abs(blade.main_memory_bandwidth - 30e12) < 1e9  # 30 TBps
+    assert abs(blade.dram_latency - 30e-9) < 1e-12  # 30 ns
+    assert abs(blade.reduction_latency - 60e-9) < 1e-12  # 60 ns
+    assert 70e12 <= blade.spu_link_bandwidth <= 76e12  # ~73 TBps
+
+
+def test_packaging_tables(run_once):
+    def build():
+        return chip_to_chip_link(), interposer_4k()
+
+    c2c, interposer = run_once(build)
+    print()
+    print(
+        f"  chip-to-chip : {c2c.usable_bumps:,} bumps, "
+        f"{c2c.bandwidth / 1e12:.2f} TBps (paper: 4.40e4 / 73.3 TBps)"
+    )
+    print(
+        f"  4K interposer: {interposer.usable_bumps:,} bumps, "
+        f"{interposer.bandwidth / 1e15:.3f} PBps (paper: 4.40e6 / 7.33 PBps)"
+    )
+    assert 4.35e4 <= c2c.usable_bumps <= 4.45e4
+    assert 72e12 <= c2c.bandwidth <= 74.5e12
+    assert 4.35e6 <= interposer.usable_bumps <= 4.45e6
+    assert 7.2e15 <= interposer.bandwidth <= 7.45e15
+    # Sanity: the 4% coverage never exceeds what the pitch allows.
+    assert c2c.bump_sites <= c2c.pitch_limited_sites

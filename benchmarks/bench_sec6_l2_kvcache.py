@@ -1,0 +1,49 @@
+"""Experiment S6 — Sec. VI closing study: the KV cache in the blade L2.
+
+Paper: "the required kv-cache size for the popular llama models are,
+llama2-7B: 2 GB, llama2-13B: 3 GB and llama2-70B: 10 GB.  Thus, one can
+possibly fit the entire kv-cache of the two smaller llama models onto the
+[~4.19 GB] L2 cache ... Our early estimates suggest a speed-up of ~2-4x for
+the relevant GEMMs/GEMVs (depending on the software overhead of launching
+the kernels)."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import l2_kv_cache_study
+
+
+def test_l2_kv_cache_study(run_once):
+    study = run_once(l2_kv_cache_study)
+
+    print()
+    for entry in study.entries:
+        print(
+            f"  {entry.model_name:11s} KV {entry.kv_cache_bytes / 1e9:5.2f} GB "
+            f"fits={entry.fits_l2}  K/V speed-up "
+            f"{entry.kv_gemm_speedup_with_overhead:.2f}x-"
+            f"{entry.kv_gemm_speedup:.2f}x"
+        )
+
+    by_name = {entry.model_name: entry for entry in study.entries}
+
+    # Sec. VI KV-cache sizes (2 / 3 / 10 GB).
+    assert 1.8e9 <= by_name["Llama2-7B"].kv_cache_bytes <= 2.4e9
+    assert 2.8e9 <= by_name["Llama2-13B"].kv_cache_bytes <= 3.6e9
+    assert 9.5e9 <= by_name["Llama2-70B"].kv_cache_bytes <= 11.5e9
+
+    # 7B and 13B fit the ~4.19 GB L2; 70B does not.
+    assert by_name["Llama2-7B"].fits_l2
+    assert by_name["Llama2-13B"].fits_l2
+    assert not by_name["Llama2-70B"].fits_l2
+
+    # K/V GEMV gain in the paper's 2-4x band at the optimistic
+    # (overhead-free) end, and > 1.2x even with dispatch overhead.
+    for name in ("Llama2-7B", "Llama2-13B"):
+        entry = by_name[name]
+        assert 2.0 <= entry.kv_gemm_speedup <= 4.0, entry
+        assert entry.kv_gemm_speedup_with_overhead > 1.2
+        assert entry.kv_gemm_speedup_with_overhead <= entry.kv_gemm_speedup
+
+    # No L2 residency for 70B means no gain.
+    assert by_name["Llama2-70B"].kv_gemm_speedup == 1.0

@@ -1,0 +1,44 @@
+"""Experiment T1 — regenerate Table I (technology comparison).
+
+Asserts the headline technology ratios the paper builds its case on:
+15× frequency, ~40× device-density deficit, ~100× interconnect power
+efficiency, and the JSRAM/SRAM cell facts.
+"""
+
+from __future__ import annotations
+
+from repro.tech import CMOS_5NM, SCD_NBTIN, technology_comparison_rows
+from repro.tech.table import technology_comparison_table
+
+
+def test_table1_rows(run_once):
+    rows = run_once(technology_comparison_rows)
+    assert len(rows) == 12
+    print()
+    print(technology_comparison_table())
+
+
+def test_table1_claims(run_once):
+    def claims():
+        scd, cmos = SCD_NBTIN, CMOS_5NM
+        return {
+            "freq_ratio": scd.operating_frequency / cmos.operating_frequency,
+            "density_deficit": cmos.device_density / scd.device_density,
+            "interconnect_gain": scd.interconnect_bits_per_pj
+            / cmos.interconnect_bits_per_pj,
+            "voltage_ratio": cmos.signal_voltage / scd.signal_voltage,
+            "scd_cell_jj": scd.sram_cell_devices,
+            "cmos_cell_t": cmos.sram_cell_devices,
+        }
+
+    result = run_once(claims)
+    # "operate at ~20x higher frequencies" — 30 GHz vs 2 GHz is 15x at the
+    # Table I baseline.
+    assert result["freq_ratio"] == 15.0
+    assert 40 <= result["density_deficit"] <= 45
+    # "10000x more energy efficient communication at the on-chip clock rate"
+    # folds rate and energy; the per-bit budget row alone is >100x.
+    assert result["interconnect_gain"] > 100
+    assert result["voltage_ratio"] > 500
+    assert result["scd_cell_jj"] == 8
+    assert result["cmos_cell_t"] == 6

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table or figure), asserts
+the paper's qualitative claims on the result, and reports the regenerated
+rows through ``--benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benched callable exactly once (figure sweeps are seconds-long;
+    statistical repetition adds nothing to an analytical model)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Design-space exploration beyond the paper's baseline.
+
+Uses the library as a downstream architect would:
+
+* search parallelization strategies for GPT3-76B on the blade (the paper's
+  "we assess the most optimal mapping"),
+* scale the blade (4x4 ... 10x10 SPUs; the paper caps at ~100 per blade),
+* trade datalink wire count against achieved training throughput.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.figures import TRAINING_PARALLEL, scd_system
+from repro.arch import build_blade
+from repro.core import Optimus, search_strategies
+from repro.parallel import map_training
+from repro.units import TBPS
+from repro.workloads import GPT3_76B
+
+
+def strategy_search() -> None:
+    """Rank (TP, PP, DP) decompositions for GPT3-76B on 64 SPUs."""
+    system = scd_system(16 * TBPS)
+    results = search_strategies(GPT3_76B, system, batch=64)
+    print("=== Strategy search: GPT3-76B, B=64, 64 SPUs @16 TBps ===")
+    print(f"{'TP':>3s} {'PP':>3s} {'DP':>3s} {'s/batch':>9s} {'PF/SPU':>7s}")
+    for result in results[:8]:
+        p = result.parallel
+        print(
+            f"{p.tensor_parallel:3d} {p.pipeline_parallel:3d} "
+            f"{p.data_parallel:3d} {result.time_per_batch:9.3f} "
+            f"{result.report.achieved_flops_per_pu / 1e15:7.2f}"
+        )
+    best = results[0].parallel
+    print(
+        f"best: TP={best.tensor_parallel} PP={best.pipeline_parallel} "
+        f"DP={best.data_parallel} (paper's fixed setup is TP=8/PP=8/DP=1)"
+    )
+
+
+def blade_scaling() -> None:
+    """Scale the SPU array; DRAM and network BW scale with it (Sec. IV-C)."""
+    print("\n=== Blade scaling: GPT3-76B training, B=128 ===")
+    print(
+        f"{'array':>7s} {'SPUs':>5s} {'TBps/SPU':>9s} {'TP/PP/DP':>9s} "
+        f"{'s/batch':>9s} {'PF/SPU':>7s}"
+    )
+    for side in (4, 8, 10):
+        blade = build_blade(nx=side, ny=side)
+        system = blade.system().with_dram_bandwidth(16 * TBPS)
+        # Let the mapper pick the best decomposition for this SPU count.
+        best = search_strategies(
+            GPT3_76B, system, batch=128, max_candidates=12
+        )[0]
+        p = best.parallel
+        print(
+            f"{side}x{side:>4d} {system.n_accelerators:5d} "
+            f"{blade.dram_bandwidth_per_spu / 1e12:9.2f} "
+            f"{p.tensor_parallel:3d}/{p.pipeline_parallel}/{p.data_parallel} "
+            f"{best.time_per_batch:9.3f} "
+            f"{best.report.achieved_flops_per_pu / 1e15:7.2f}"
+        )
+
+
+def datalink_scaling() -> None:
+    """Scale datalink wires: the paper notes the 30 TBps baseline 'can be
+    increased or decreased based on the power budget, metal layers, ...'."""
+    print("\n=== Datalink scaling: GPT3-76B training, B=128, 8x8 blade ===")
+    print(f"{'wires x':>8s} {'TBps/SPU':>9s} {'s/batch':>9s}")
+    base_blade = build_blade()
+    for factor in (1.0, 4.0, 16.0, 34.0):
+        scaled = base_blade.datalink.scaled(factor)
+        bw_per_spu = min(
+            scaled.bidirectional_bandwidth, base_blade.dram.internal_bandwidth * factor
+        ) / base_blade.n_spus
+        system = base_blade.system().with_dram_bandwidth(bw_per_spu)
+        report = Optimus(system).evaluate_training(
+            map_training(GPT3_76B, system, TRAINING_PARALLEL, batch=128)
+        )
+        print(
+            f"{factor:8.0f} {bw_per_spu / 1e12:9.2f} {report.time_per_batch:9.3f}"
+        )
+
+
+def main() -> None:
+    strategy_search()
+    blade_scaling()
+    datalink_scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The paper's three future-work directions, quantified with this library.
+
+1. Power breakdown (Sec. III: "a more detailed look into the power
+   breakdown ... will be pursued as future work"),
+2. multi-blade scaling (Sec. VII: "we expect the performance to scale with
+   the number of blades"),
+3. LLM inference out of a huge JSRAM pool (Sec. VII: "exploiting its
+   massive bandwidth and negligible latency").
+
+Run:  python examples/future_work_studies.py
+"""
+
+from repro.analysis.figures import jsram_main_memory_study
+from repro.arch import build_blade, build_gpu_system
+from repro.arch.multi_blade import build_multi_blade
+from repro.core import Optimus
+from repro.parallel import ParallelConfig, map_training
+from repro.power import CoolingModel, gpu_power_model, scd_power_model
+from repro.units import TBPS
+from repro.workloads import GPT3_175B, GPT3_76B
+
+
+def power_study() -> None:
+    print("=== 1. Power breakdown: GPT3-175B training, per batch ===")
+    blade = build_blade().system().with_dram_bandwidth(16 * TBPS)
+    gpu = build_gpu_system(64)
+    parallel = ParallelConfig(8, 8, 1)
+    scd_report = Optimus(blade).evaluate_training(
+        map_training(GPT3_175B, blade, parallel, 64)
+    )
+    gpu_report = Optimus(gpu).evaluate_training(
+        map_training(GPT3_175B, gpu, parallel, 64)
+    )
+    scd_pm, gpu_pm = scd_power_model(blade), gpu_power_model(gpu)
+    scd_e = scd_pm.training_energy(
+        scd_report, *scd_pm.estimate_training_traffic(scd_report)
+    )
+    gpu_e = gpu_pm.training_energy(
+        gpu_report, *gpu_pm.estimate_training_traffic(gpu_report)
+    )
+    print(f"{'bucket':10s} {'SCD (J)':>12s} {'GPU (J)':>12s}")
+    for bucket in ("compute", "memory", "network", "overhead"):
+        print(
+            f"{bucket:10s} {getattr(scd_e, bucket):12.1f} "
+            f"{getattr(gpu_e, bucket):12.1f}"
+        )
+    print(
+        f"device     {scd_e.total_device:12.1f} {gpu_e.total_device:12.1f}"
+        f"   -> {gpu_e.total_device / scd_e.total_device:.0f}x"
+    )
+    print(
+        f"wall-plug  {scd_e.total_wall:12.1f} {gpu_e.total_wall:12.1f}"
+        f"   -> {gpu_e.total_wall / scd_e.total_wall:.1f}x "
+        "(after 500 W/W @4K, 12 W/W @77K cooling)"
+    )
+    harsh = scd_power_model(blade, CoolingModel(w_per_w_4k=1000))
+    harsh_e = harsh.training_energy(
+        scd_report, *harsh.estimate_training_traffic(scd_report)
+    )
+    print(
+        f"pessimistic cooling (1000 W/W): wall gain still "
+        f"{gpu_e.total_wall / harsh_e.total_wall:.1f}x"
+    )
+
+
+def multi_blade_study() -> None:
+    print("\n=== 2. Multi-blade scaling: GPT3-76B training (DP across blades) ===")
+    print(f"{'blades':>7s} {'SPUs':>5s} {'s/batch':>9s} {'tokens/s':>11s}")
+    for n_blades in (1, 2, 4, 8):
+        system = build_multi_blade(n_blades).system().with_dram_bandwidth(16 * TBPS)
+        parallel = ParallelConfig(8, 8, n_blades)
+        report = Optimus(system).evaluate_training(
+            map_training(GPT3_76B, system, parallel, 64 * n_blades)
+        )
+        print(
+            f"{n_blades:7d} {system.n_accelerators:5d} "
+            f"{report.time_per_batch:9.3f} {report.tokens_per_second:11,.0f}"
+        )
+    print("Near-linear throughput scaling: each blade carries its own "
+          "cryo-DRAM pool\nand only gradients cross the optical inter-blade links.")
+
+
+def jsram_study() -> None:
+    print("\n=== 3. Inference from a huge JSRAM pool (weights + KV resident) ===")
+    study = jsram_main_memory_study()
+    print(f"{'model':12s} {'JSRAM':>8s} {'footprint':>10s} {'fits':>5s} {'speed-up':>9s}")
+    for entry in study.entries:
+        print(
+            f"{entry.model_name:12s} {entry.jsram_capacity_bytes / 1e9:6.1f}GB "
+            f"{entry.footprint_bytes / 1e9:8.1f}GB {str(entry.fits):>5s} "
+            f"{entry.speedup:8.2f}x"
+        )
+    print("Once weights + KV fit the JSRAM pool, decode streams at torus "
+          "bandwidth with\nnanosecond latency — the paper's 'new ways of "
+          "mapping and memory management'.")
+
+
+def main() -> None:
+    power_study()
+    multi_blade_study()
+    jsram_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build the SCD blade, project LLM training and inference.
+
+Walks the library's main path in ~40 lines:
+
+1. assemble the paper's baseline blade (Fig. 3c) bottom-up,
+2. map GPT3-76B training onto it (TP=8 / PP=8 / DP=1),
+3. evaluate with the Optimus performance model,
+4. compare against an equal number of H100 GPUs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import build_blade, build_gpu_system
+from repro.core import Optimus
+from repro.parallel import ParallelConfig, map_inference, map_training
+from repro.workloads import GPT3_76B, LLAMA_405B
+from repro.units import TBPS
+
+
+def main() -> None:
+    # 1. The SCD blade: 8x8 SPUs, 2 TB cryo-DRAM, 30 TBps datalink.
+    blade = build_blade()
+    print("=== SCD blade (Fig. 3c baseline) ===")
+    for name, value in blade.spec_rows():
+        print(f"  {name:40s} {value}")
+
+    # The paper's headline experiments run at 16 TBps effective per SPU.
+    scd = blade.system().with_dram_bandwidth(16 * TBPS)
+    gpu = build_gpu_system(scd.n_accelerators)
+
+    # 2-3. Training projection: GPT3-76B, batch 64, bf16.
+    parallel = ParallelConfig(tensor_parallel=8, pipeline_parallel=8)
+    scd_report = Optimus(scd).evaluate_training(
+        map_training(GPT3_76B, scd, parallel, batch=64)
+    )
+    gpu_report = Optimus(gpu).evaluate_training(
+        map_training(GPT3_76B, gpu, parallel, batch=64)
+    )
+
+    print("\n=== GPT3-76B training, batch 64 ===")
+    for label, report in (("SCD blade", scd_report), ("64x H100", gpu_report)):
+        parts = report.breakdown()
+        print(
+            f"  {label:10s} {report.time_per_batch * 1e3:8.1f} ms/batch "
+            f"(compute {parts['compute'] * 1e3:.0f} + comm "
+            f"{parts['communication'] * 1e3:.0f} + others "
+            f"{parts['others'] * 1e3:.0f}) -> "
+            f"{report.achieved_flops_per_pu / 1e15:.2f} PFLOP/s per unit"
+        )
+    print(
+        f"  SCD speed-up: "
+        f"{gpu_report.time_per_batch / scd_report.time_per_batch:.2f}x "
+        f"(paper band: 3.5-4.4x)"
+    )
+
+    # 4. Inference projection: Llama-405B, batch 8, 200/200 tokens.
+    scd_inf = Optimus(scd).evaluate_inference(
+        map_inference(LLAMA_405B, scd, batch=8)
+    )
+    gpu_inf = Optimus(gpu).evaluate_inference(
+        map_inference(LLAMA_405B, gpu, batch=8)
+    )
+    print("\n=== Llama-405B inference, batch 8, I/O 200/200 ===")
+    print(f"  SCD blade  {scd_inf.latency:6.3f} s  ({scd_inf.tokens_per_second:,.0f} tok/s)")
+    print(f"  64x H100   {gpu_inf.latency:6.3f} s  ({gpu_inf.tokens_per_second:,.0f} tok/s)")
+    print(
+        f"  SCD speed-up: {gpu_inf.latency / scd_inf.latency:.1f}x "
+        f"(paper band: 9-11x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Technology tour: from Josephson junctions to the blade spec.
+
+Walks the bottom-up derivation chain of the paper:
+
+  JJ device -> PCL MAC (~8k JJ) -> 144 mm2 compute die (2.45 PFLOP/s)
+  JSRAM cell (8 JJ, 1.86 um2) -> HD die (~6 MB) -> 24 MB L1
+  datalink wires -> 30 TBps main-memory bandwidth -> 0.47 TBps/SPU
+  bump field -> 73 TBps SPU-to-SPU links
+
+Run:  python examples/technology_tour.py
+"""
+
+from repro.arch import ComputeDie, build_blade
+from repro.analysis.tables import (
+    blade_spec_table,
+    datalink_table,
+    render_two_column,
+    table1_technology,
+)
+from repro.interconnect.packaging import chip_to_chip_link, interposer_4k
+from repro.memory.jsram import HD_1R1W, JSRAMDie
+from repro.tech.device import JosephsonJunction
+from repro.units import AJ, PS
+
+
+def main() -> None:
+    print("=== Table I: technology comparison ===")
+    print(table1_technology())
+
+    jj = JosephsonJunction()
+    print("\n=== Device level ===")
+    print(f"  JJ switching energy : {jj.switching_energy / AJ:.3f} aJ (sub-attojoule)")
+    print(f"  JJ switching delay  : {jj.switching_delay / PS:.2f} ps")
+    print(f"  thermal stability   : {jj.thermal_stability_factor:,.0f} x kT")
+
+    die = ComputeDie()
+    print("\n=== Compute die (144 mm2) ===")
+    print(f"  JJ budget           : {die.jj_budget / 1e6:,.0f} MJJ")
+    print(f"  MAC units (~8k JJ)  : {die.mac_count:,}")
+    print(f"  peak bf16           : {die.peak_flops / 1e15:.2f} PFLOP/s")
+    print(f"  MAC-array power     : {die.power_watts:.2f} W at 4 K")
+
+    jdie = JSRAMDie()
+    print("\n=== JSRAM ===")
+    print(f"  HD cell             : {HD_1R1W.jj_count} JJ, {HD_1R1W.area / 1e-12:.2f} um2")
+    print(f"  HD die capacity     : {jdie.capacity_bytes / 1e6:.1f} MB usable")
+
+    print("\n=== Fig. 2b: 4K-77K main-memory datalink ===")
+    for name, down, up in datalink_table():
+        print(f"  {name:16s} {down:34s} {up}")
+
+    c2c, interposer = chip_to_chip_link(), interposer_4k()
+    print("\n=== Fig. 3c packaging tables ===")
+    print(
+        f"  chip-to-chip : {c2c.usable_bumps:,} bumps -> "
+        f"{c2c.bandwidth / 1e12:.1f} TBps"
+    )
+    print(
+        f"  4K interposer: {interposer.usable_bumps:,} bumps -> "
+        f"{interposer.bandwidth / 1e15:.2f} PBps"
+    )
+
+    print("\n=== Fig. 3c: assembled blade baseline ===")
+    print(render_two_column(blade_spec_table(build_blade()), ("Parameter", "Baseline Value")))
+
+
+if __name__ == "__main__":
+    main()

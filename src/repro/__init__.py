@@ -1,0 +1,10 @@
+"""repro — system-level performance evaluation for superconducting digital systems.
+
+A full-stack reproduction of "A System Level Performance Evaluation for
+Superconducting Digital Systems" (DATE 2025): technology models, PCL logic and
+EDA flow, JSRAM/cryo-DRAM memory hierarchy, SPU/SNU/blade architecture, LLM
+workload task graphs, TP/PP/DP parallelization, and the Optimus analytical
+performance model, plus generators for every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"

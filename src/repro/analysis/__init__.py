@@ -1,0 +1,40 @@
+"""Figure and table generators: one function per paper artifact.
+
+Each generator returns a frozen dataclass holding the plotted series, so the
+benchmarks can assert the paper's qualitative claims against them and the
+examples can render them as text.
+"""
+
+from repro.analysis.figures import (
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    L2StudyResult,
+    fig5_training_bandwidth_sweep,
+    fig6_training_models,
+    fig7_inference,
+    fig8_inference_speedup,
+    l2_kv_cache_study,
+)
+from repro.analysis.tables import (
+    blade_spec_table,
+    datalink_table,
+    table1_technology,
+)
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "L2StudyResult",
+    "fig5_training_bandwidth_sweep",
+    "fig6_training_models",
+    "fig7_inference",
+    "fig8_inference_speedup",
+    "l2_kv_cache_study",
+    "table1_technology",
+    "datalink_table",
+    "blade_spec_table",
+]

@@ -1,0 +1,162 @@
+"""Sensitivity of the headline results to the calibrated parameters.
+
+The reproduction calibrates a handful of knobs the paper does not publish
+(DESIGN.md substitutions #7 and #8): the GPU's low-intensity HBM streaming
+efficiency, the collective α's, the kernel-dispatch overheads, and the SCD
+bandwidth-delay-product budget.  An analytical-model result is only worth
+quoting if it survives perturbation of those knobs, so this module sweeps
+each one across a generous range and reports the induced swing of the
+Fig. 8 inference speed-up (Llama-405B, B=8) — a tornado chart in data form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.arch.blade import build_blade
+from repro.arch.gpu import H100Specs, build_gpu_system
+from repro.arch.system import SystemSpec
+from repro.core.model import Optimus
+from repro.parallel.mapper import map_inference
+from repro.units import KIB, TBPS, US
+from repro.workloads.llm import LLAMA_405B, LLMConfig
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Speed-up swing induced by one parameter's perturbation range."""
+
+    parameter: str
+    low_setting: float
+    high_setting: float
+    speedup_at_low: float
+    speedup_at_high: float
+    baseline_speedup: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute speed-up range width across the perturbation."""
+        return abs(self.speedup_at_high - self.speedup_at_low)
+
+    @property
+    def worst_case(self) -> float:
+        """The least favourable speed-up in the range."""
+        return min(self.speedup_at_low, self.speedup_at_high)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """All tornado bars plus the baseline."""
+
+    baseline_speedup: float
+    entries: tuple[SensitivityEntry, ...]
+
+    def sorted_by_swing(self) -> list[SensitivityEntry]:
+        """Widest bar first (the tornado ordering)."""
+        return sorted(self.entries, key=lambda e: e.swing, reverse=True)
+
+
+def _speedup(
+    model: LLMConfig,
+    scd: SystemSpec,
+    gpu: SystemSpec,
+    batch: int,
+    io_tokens: tuple[int, int],
+) -> float:
+    scd_latency = (
+        Optimus(scd)
+        .evaluate_inference(
+            map_inference(
+                model, scd, batch=batch,
+                input_tokens=io_tokens[0], output_tokens=io_tokens[1],
+            )
+        )
+        .latency
+    )
+    gpu_latency = (
+        Optimus(gpu)
+        .evaluate_inference(
+            map_inference(
+                model, gpu, batch=batch,
+                input_tokens=io_tokens[0], output_tokens=io_tokens[1],
+            )
+        )
+        .latency
+    )
+    return gpu_latency / scd_latency
+
+
+def inference_speedup_sensitivity(
+    model: LLMConfig = LLAMA_405B,
+    batch: int = 8,
+    io_tokens: tuple[int, int] = (200, 200),
+    dram_bandwidth_per_spu: float = 16 * TBPS,
+) -> SensitivityResult:
+    """Perturb each calibrated knob and measure the Fig. 8 speed-up swing.
+
+    Ranges are deliberately generous (roughly ±2× around the calibration)
+    so the result brackets any reasonable alternative calibration.
+    """
+
+    def scd_system(outstanding: float = 512 * KIB) -> SystemSpec:
+        blade = replace(build_blade(), dram_outstanding_bytes=outstanding)
+        return blade.system().with_dram_bandwidth(dram_bandwidth_per_spu)
+
+    def gpu_system(specs: H100Specs = H100Specs()) -> SystemSpec:
+        return SystemSpec(
+            name="64x H100",
+            accelerator=__import__("repro.arch.gpu", fromlist=["h100_accelerator"]).h100_accelerator(specs),
+            n_accelerators=64,
+        )
+
+    baseline = _speedup(model, scd_system(), gpu_system(), batch, io_tokens)
+
+    perturbations: list[tuple[str, float, float, Callable[[float], tuple[SystemSpec, SystemSpec]]]] = [
+        (
+            "GPU low-AI stream efficiency",
+            0.15,
+            0.45,
+            lambda v: (scd_system(), gpu_system(H100Specs(stream_low_ai=v))),
+        ),
+        (
+            "InfiniBand alpha (us)",
+            0.2,
+            1.0,
+            lambda v: (scd_system(), gpu_system(H100Specs(ib_alpha=v * US))),
+        ),
+        (
+            "GPU kernel-launch overhead (us)",
+            0.0,
+            1.0,
+            lambda v: (
+                scd_system(),
+                gpu_system(H100Specs(kernel_launch_overhead=v * US)),
+            ),
+        ),
+        (
+            "SCD outstanding bytes (KiB)",
+            256.0,
+            2048.0,
+            lambda v: (scd_system(outstanding=v * KIB), gpu_system()),
+        ),
+    ]
+
+    entries = []
+    for name, low, high, build in perturbations:
+        scd_low, gpu_low = build(low)
+        scd_high, gpu_high = build(high)
+        entries.append(
+            SensitivityEntry(
+                parameter=name,
+                low_setting=low,
+                high_setting=high,
+                speedup_at_low=_speedup(model, scd_low, gpu_low, batch, io_tokens),
+                speedup_at_high=_speedup(model, scd_high, gpu_high, batch, io_tokens),
+                baseline_speedup=baseline,
+            )
+        )
+    return SensitivityResult(baseline_speedup=baseline, entries=tuple(entries))
+
+
+__all__ = ["SensitivityEntry", "SensitivityResult", "inference_speedup_sensitivity"]

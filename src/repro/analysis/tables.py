@@ -1,0 +1,69 @@
+"""Table generators: Table I, Fig. 2b (datalink) and Fig. 3c (blade spec)."""
+
+from __future__ import annotations
+
+from repro.arch.blade import SCDBlade, build_blade
+from repro.interconnect.datalink import DatalinkSpec, baseline_datalink
+from repro.tech.table import technology_comparison_table
+
+
+def table1_technology() -> str:
+    """Render Table I from the process models."""
+    return technology_comparison_table()
+
+
+def datalink_table(spec: DatalinkSpec | None = None) -> list[tuple[str, str, str]]:
+    """Render Fig. 2b's datalink specification rows (parameter, down, up)."""
+    spec = spec or baseline_datalink()
+    down, up = spec.downlink, spec.uplink
+    return [
+        ("Wire Width", f"{down.wire_width * 1e6:.1f}um", f"{up.wire_width * 1e6:.0f}um"),
+        (
+            "Wire Thickness",
+            f"{down.wire_thickness * 1e6:.1f}um",
+            f"{up.wire_thickness * 1e6:.1f}um",
+        ),
+        ("Wire Pitch", f"{down.wire_pitch * 1e6:.0f}um", f"{up.wire_pitch * 1e6:.0f}um"),
+        (
+            "Wire Length",
+            f"{down.cu_length * 1e3:.0f}mm (Cu) + {down.nbtin_length * 1e3:.0f}mm (NbTiN)",
+            f"{up.cu_length * 1e3:.0f}mm (Cu) + {up.nbtin_length * 1e3:.0f}mm (NbTiN)",
+        ),
+        (
+            "Byte Rate",
+            f"{down.byte_rate_per_wire / 1e9:.0f} GB/s",
+            f"{up.byte_rate_per_wire / 1e9:.0f} GB/s",
+        ),
+        ("No. of wires", f"{down.n_wires:,}", f"{up.n_wires:,}"),
+        ("Required ML", str(down.metal_layers), str(up.metal_layers)),
+        (
+            "Bandwidth",
+            f"{down.bandwidth / 1e12:.0f} TBps",
+            f"{up.bandwidth / 1e12:.0f} TBps",
+        ),
+    ]
+
+
+def blade_spec_table(blade: SCDBlade | None = None) -> list[tuple[str, str]]:
+    """Render Fig. 3c's baseline blade specification rows."""
+    blade = blade or build_blade()
+    return blade.spec_rows()
+
+
+def render_two_column(rows: list[tuple[str, str]], headers: tuple[str, str]) -> str:
+    """Fixed-width rendering of (parameter, value) rows."""
+    width0 = max(len(headers[0]), *(len(r[0]) for r in rows))
+    width1 = max(len(headers[1]), *(len(r[1]) for r in rows))
+    sep = "+-" + "-" * width0 + "-+-" + "-" * width1 + "-+"
+    lines = [sep, f"| {headers[0].ljust(width0)} | {headers[1].ljust(width1)} |", sep]
+    lines.extend(f"| {a.ljust(width0)} | {b.ljust(width1)} |" for a, b in rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "table1_technology",
+    "datalink_table",
+    "blade_spec_table",
+    "render_two_column",
+]

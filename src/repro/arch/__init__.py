@@ -1,0 +1,32 @@
+"""Architecture layer: SPU, SNU, SCD blade, and the GPU baseline (Sec. III–IV).
+
+Assembles the technology, memory and interconnect substrates bottom-up into
+the system abstraction the performance model consumes
+(:class:`~repro.arch.system.Accelerator` + :class:`~repro.arch.system.SystemSpec`),
+reproducing the Fig. 3c baseline parameters, and provides the contemporary
+GPU system (H100 / DGX-class cluster) the paper compares against.
+"""
+
+from repro.arch.system import Accelerator, SystemSpec
+from repro.arch.compute import ComputeDie
+from repro.arch.control import ControlComplex
+from repro.arch.spu import SPUStack, build_spu
+from repro.arch.snu import SNUStack, build_snu
+from repro.arch.blade import SCDBlade, build_blade
+from repro.arch.gpu import H100_SPECS, build_gpu_system, h100_accelerator
+
+__all__ = [
+    "Accelerator",
+    "SystemSpec",
+    "ComputeDie",
+    "ControlComplex",
+    "SPUStack",
+    "build_spu",
+    "SNUStack",
+    "build_snu",
+    "SCDBlade",
+    "build_blade",
+    "H100_SPECS",
+    "h100_accelerator",
+    "build_gpu_system",
+]

@@ -1,0 +1,105 @@
+"""Multi-blade scaling (the paper's second future-work direction).
+
+"Although we limit this study to projecting the performance of a single SCD
+blade, we expect the performance to scale with the number of blades — to be
+explored in our future investigations."
+
+Blades connect through the SNU stacks' vertical TSVs (physically stacked
+blades) or optical modulators at the blade edge (Fig. 3d shows "Towards
+Optical modulators").  We model the inter-blade fabric as optical links with
+SerDes+flight latency and a configurable per-blade escape bandwidth, and
+compose it with the intra-blade torus as a
+:class:`~repro.interconnect.collectives.HierarchicalFabric`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.blade import SCDBlade, build_blade
+from repro.arch.system import SystemSpec
+from repro.errors import require_positive
+from repro.interconnect.collectives import (
+    CollectiveAlgorithm,
+    Fabric,
+    HierarchicalFabric,
+)
+from repro.units import TBPS
+
+
+@dataclass(frozen=True)
+class InterBladeLink:
+    """The optical (or stacked-TSV) escape path of one blade."""
+
+    #: Escape bandwidth per SPU towards other blades.
+    bandwidth_per_spu: float = 1 * TBPS
+    #: One-way latency: optical SerDes + modulation + flight.
+    latency: float = 0.1e-6
+    technology: str = "optical"
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth_per_spu", self.bandwidth_per_spu)
+        require_positive("latency", self.latency)
+
+
+@dataclass(frozen=True)
+class MultiBladeSystem:
+    """``n_blades`` SCD blades joined by an inter-blade fabric."""
+
+    blade: SCDBlade
+    n_blades: int
+    link: InterBladeLink
+
+    def __post_init__(self) -> None:
+        require_positive("n_blades", self.n_blades)
+
+    @property
+    def n_spus(self) -> int:
+        """Total SPUs across all blades."""
+        return self.n_blades * self.blade.n_spus
+
+    def fabric(self) -> HierarchicalFabric:
+        """Intra-blade torus under an inter-blade optical ring."""
+        inter = Fabric(
+            name=f"inter-blade ({self.link.technology})",
+            alpha=self.link.latency,
+            bandwidth=self.link.bandwidth_per_spu * self.blade.n_spus,
+            algorithm=CollectiveAlgorithm.RING,
+        )
+        return HierarchicalFabric(
+            intra=self.blade.fabric(),
+            inter=inter,
+            group_size=self.blade.n_spus,
+        )
+
+    def system(self) -> SystemSpec:
+        """The multi-blade machine as one SystemSpec.
+
+        Per-SPU memory bandwidth/capacity stay blade-local (each blade
+        carries its own cryo-DRAM pool and datalink — the paper's scaling
+        premise: "we can scale both the effective DRAM and network BW as we
+        scale the number of SPUs").
+        """
+        base = self.blade.system()
+        accelerator = replace(base.accelerator, fabric=self.fabric())
+        return SystemSpec(
+            name=f"{self.n_blades}x SCD blade",
+            accelerator=accelerator,
+            n_accelerators=self.n_spus,
+        )
+
+
+def build_multi_blade(
+    n_blades: int = 2,
+    blade: SCDBlade | None = None,
+    link: InterBladeLink | None = None,
+) -> MultiBladeSystem:
+    """Assemble a multi-blade machine from baseline parts."""
+    return MultiBladeSystem(
+        blade=blade or build_blade(),
+        n_blades=n_blades,
+        link=link or InterBladeLink(),
+    )
+
+
+__all__ = ["InterBladeLink", "MultiBladeSystem", "build_multi_blade"]

@@ -1,0 +1,102 @@
+"""The SCD Processing Unit: a vertical die stack (paper Sec. IV-A, Fig. 3a).
+
+"A single SPU consists of a high-compute-throughput die, a host controller
+die, multiple HD-JSRAM-based memory dies and an HP JSRAM die, all vertically
+stacked by means of NbTiN through-silicon vias.  The HD JSRAM dies serve the
+private L1 dcaches ...; the HP JSRAM die contains the register files and L1
+icaches ...; the control complex as well as the local switch lie at the base
+of the SPU physical stack."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.compute import ComputeDie
+from repro.arch.control import ControlComplex
+from repro.errors import require_positive
+from repro.interconnect.switch import SwitchSpec
+from repro.memory.cache import CacheSpec, l1_from_dies
+from repro.memory.jsram import HP_3R2W, JSRAMDie
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class SPUStack:
+    """One SPU: compute + control + switch + JSRAM stack."""
+
+    compute: ComputeDie = field(default_factory=ComputeDie)
+    control: ControlComplex = field(default_factory=ControlComplex)
+    switch: SwitchSpec = field(default_factory=SwitchSpec)
+    n_l1_dies: int = 4
+    l1_die: JSRAMDie = field(default_factory=JSRAMDie)
+    #: Register-file + L1-I capacity on the HP die.
+    hp_capacity_bytes: float = 2 * MB
+    #: Bytes per cycle per HD die over the TSV interface.
+    l1_bytes_per_cycle_per_die: int = 2048
+
+    def __post_init__(self) -> None:
+        require_positive("n_l1_dies", self.n_l1_dies)
+        require_positive("hp_capacity_bytes", self.hp_capacity_bytes)
+        require_positive(
+            "l1_bytes_per_cycle_per_die", self.l1_bytes_per_cycle_per_die
+        )
+
+    @property
+    def l1_dcache(self) -> CacheSpec:
+        """Private L1 data cache: baseline 4 HD dies ≈ 24 MB (Fig. 3c)."""
+        return l1_from_dies(
+            n_dies=self.n_l1_dies,
+            die=self.l1_die,
+            frequency=self.compute.process.operating_frequency,
+            words_per_cycle_per_die=self.l1_bytes_per_cycle_per_die,
+        )
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak bf16 throughput of the compute die."""
+        return self.compute.peak_flops
+
+    @property
+    def register_file_jj(self) -> float:
+        """HP-die register-file junctions (3R/2W cells)."""
+        return self.hp_capacity_bytes * 8.0 * HP_3R2W.jj_count
+
+    @property
+    def n_dies(self) -> int:
+        """Dies in the physical stack: compute + control/switch base +
+        HP die + HD L1 dies."""
+        return 3 + self.n_l1_dies
+
+    @property
+    def total_jj(self) -> float:
+        """Junction budget of the whole stack (compute + control + switch +
+        memory dies)."""
+        memory_jj = self.n_l1_dies * self.l1_die.jj_count
+        return (
+            self.compute.mac_count * self.compute.mac_jj
+            + self.control.total_jj
+            + self.switch.total_jj
+            + self.register_file_jj
+            + memory_jj
+        )
+
+
+def build_spu(
+    l1_capacity_bytes: float | None = None,
+    compute: ComputeDie | None = None,
+) -> SPUStack:
+    """Construct the baseline SPU, optionally overriding the L1 capacity.
+
+    ``l1_capacity_bytes`` picks the number of HD dies (6 MB usable each) to
+    reach at least the requested capacity.
+    """
+    compute = compute or ComputeDie()
+    if l1_capacity_bytes is None:
+        return SPUStack(compute=compute)
+    die = JSRAMDie()
+    n_dies = die.dies_for_capacity(l1_capacity_bytes)
+    return SPUStack(compute=compute, n_l1_dies=n_dies)
+
+
+__all__ = ["SPUStack", "build_spu"]

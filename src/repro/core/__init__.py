@@ -1,0 +1,37 @@
+"""Optimus: the paper's analytical performance-modeling framework (Sec. V).
+
+"At its core, Optimus relies on a hierarchical roofline model for a single
+accelerator to determine if a given kernel in the task graph is compute or
+memory (on-chip/off-chip) bound.  For compute-bound kernels the execution
+time is primarily determined by the compute throughput, while for
+memory-bound kernels it is dominated by the data transfer time from the
+respective memory level."
+
+* :mod:`roofline`  — per-kernel timing + boundedness classification;
+* :mod:`comm_perf` — collective timing on the system fabric;
+* :mod:`model`     — end-to-end training/inference evaluation (Optimus);
+* :mod:`report`    — result structures with the paper's breakdowns;
+* :mod:`optimizer` — parallelization-strategy search;
+* :mod:`sweep`     — parameter-sweep utilities for the figures.
+"""
+
+from repro.core.roofline import Boundedness, KernelTiming, time_compute_kernel
+from repro.core.comm_perf import time_comm_kernel
+from repro.core.model import Optimus
+from repro.core.report import InferenceReport, TrainingReport
+from repro.core.optimizer import StrategyResult, search_strategies
+from repro.core.sweep import sweep_dram_bandwidth, sweep_dram_latency
+
+__all__ = [
+    "Boundedness",
+    "KernelTiming",
+    "time_compute_kernel",
+    "time_comm_kernel",
+    "Optimus",
+    "TrainingReport",
+    "InferenceReport",
+    "StrategyResult",
+    "search_strategies",
+    "sweep_dram_bandwidth",
+    "sweep_dram_latency",
+]

@@ -1,0 +1,79 @@
+"""Communication timing: dispatch a CommKernel onto the system fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.system import AnyFabric
+from repro.errors import MappingError
+from repro.interconnect.collectives import (
+    Fabric,
+    HierarchicalFabric,
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    point_to_point_time,
+    reduce_scatter_time,
+)
+from repro.workloads.operators import CommKernel, CommPattern
+
+
+@dataclass(frozen=True)
+class CommTiming:
+    """Timing verdict for one collective."""
+
+    kernel: CommKernel
+    time: float
+    exposed_time: float
+
+
+def _flat_time(fabric: Fabric, kernel: CommKernel) -> float:
+    if kernel.pattern is CommPattern.ALL_REDUCE:
+        return all_reduce_time(fabric, kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.ALL_GATHER:
+        return all_gather_time(fabric, kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.REDUCE_SCATTER:
+        return reduce_scatter_time(fabric, kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.ALL_TO_ALL:
+        return all_to_all_time(fabric, kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.POINT_TO_POINT:
+        return point_to_point_time(fabric, kernel.n_bytes)
+    raise MappingError(f"unsupported pattern {kernel.pattern}")
+
+
+def _hierarchical_time(fabric: HierarchicalFabric, kernel: CommKernel) -> float:
+    if kernel.spans_groups and kernel.participants > 1:
+        # The participants live in different groups (e.g. the DP gradient
+        # all-reduce), so the collective runs on the inter-group fabric even
+        # when the participant count alone would fit inside one group.
+        return _flat_time(fabric.inter, kernel)
+    if kernel.pattern is CommPattern.ALL_REDUCE:
+        return fabric.all_reduce_time(kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.ALL_GATHER:
+        return fabric.all_gather_time(kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.REDUCE_SCATTER:
+        # Bounded by the hierarchical all-reduce (conservative).
+        return fabric.all_reduce_time(kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.ALL_TO_ALL:
+        return fabric.all_to_all_time(kernel.n_bytes, kernel.participants)
+    if kernel.pattern is CommPattern.POINT_TO_POINT:
+        cross = kernel.participants > fabric.group_size
+        return fabric.point_to_point_time(kernel.n_bytes, cross_group=cross)
+    raise MappingError(f"unsupported pattern {kernel.pattern}")
+
+
+def time_comm_kernel(kernel: CommKernel, fabric: AnyFabric) -> CommTiming:
+    """Time a collective on the fabric; ``exposed_time`` removes the
+    overlapped fraction."""
+    if isinstance(fabric, HierarchicalFabric):
+        elapsed = _hierarchical_time(fabric, kernel)
+    else:
+        elapsed = _flat_time(fabric, kernel)
+    return CommTiming(
+        kernel=kernel,
+        time=elapsed,
+        exposed_time=elapsed * (1.0 - kernel.overlap_fraction),
+    )
+
+
+__all__ = ["CommTiming", "time_comm_kernel"]

@@ -1,0 +1,235 @@
+"""Optimus: end-to-end performance evaluation (the paper's contribution).
+
+``Optimus(system)`` times mapped workloads:
+
+* :meth:`evaluate_training` — per-stage kernel timing → 1F1B pipeline
+  schedule → data-parallel gradient all-reduce → optimizer step, reported
+  with the Fig. 6 compute/communication/others decomposition;
+* :meth:`evaluate_inference` — prefill pass + token-by-token decode (KV cache
+  growing per step), reported with the Fig. 7/8 latency and throughput
+  metrics.
+
+Decode steps are timed exactly at ``decode_samples`` quantile context
+lengths and integrated — kernel times are piecewise-linear in context length,
+so a modest sample count reproduces the exact sum to float precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.system import SystemSpec
+from repro.core.comm_perf import time_comm_kernel
+from repro.core.report import GEMMBreakdown, InferenceReport, TrainingReport
+from repro.core.roofline import Boundedness, time_compute_kernel
+from repro.errors import require_positive
+from repro.parallel.mapper import MappedInference, MappedTraining
+from repro.parallel.pipeline import simulate_1f1b
+from repro.workloads.operators import ComputeKernel, Op
+
+
+@dataclass(frozen=True)
+class _OpListTiming:
+    """Aggregate timing of one op list on one accelerator."""
+
+    total: float
+    compute_kernel_time: float
+    comm_exposed_time: float
+    memory_bound_time: float
+    compute_bound_time: float
+    gemm_memory_bound_time: float
+    gemm_compute_bound_time: float
+    flops: float
+
+
+class Optimus:
+    """The analytical performance model bound to a system."""
+
+    def __init__(self, system: SystemSpec, decode_samples: int = 9) -> None:
+        require_positive("decode_samples", decode_samples)
+        self.system = system
+        self.accelerator = system.accelerator
+        self.decode_samples = decode_samples
+
+    # ------------------------------------------------------------------ utils
+    def time_ops(self, ops: tuple[Op, ...] | list[Op]) -> _OpListTiming:
+        """Time an op list executed serially on one accelerator."""
+        total = 0.0
+        compute_kernel_time = 0.0
+        comm_exposed = 0.0
+        mem_bound = 0.0
+        comp_bound = 0.0
+        gemm_mem = 0.0
+        gemm_comp = 0.0
+        flops = 0.0
+        for op in ops:
+            if isinstance(op, ComputeKernel):
+                timing = time_compute_kernel(op, self.accelerator)
+                total += timing.time
+                compute_kernel_time += timing.time
+                flops += op.flops
+                if timing.bound is Boundedness.MEMORY:
+                    mem_bound += timing.time
+                    if op.is_gemm:
+                        gemm_mem += timing.time
+                else:
+                    comp_bound += timing.time
+                    if op.is_gemm:
+                        gemm_comp += timing.time
+            else:
+                timing = time_comm_kernel(op, self.accelerator.fabric)
+                total += timing.exposed_time
+                comm_exposed += timing.exposed_time
+        return _OpListTiming(
+            total=total,
+            compute_kernel_time=compute_kernel_time,
+            comm_exposed_time=comm_exposed,
+            memory_bound_time=mem_bound,
+            compute_bound_time=comp_bound,
+            gemm_memory_bound_time=gemm_mem,
+            gemm_compute_bound_time=gemm_comp,
+            flops=flops,
+        )
+
+    # ------------------------------------------------------------- training
+    def evaluate_training(self, mapped: MappedTraining) -> TrainingReport:
+        """Time one training step (one global batch)."""
+        stage_fwd = [self.time_ops(ops) for ops in mapped.stage_fwd_ops]
+        stage_bwd = [self.time_ops(ops) for ops in mapped.stage_bwd_ops]
+
+        p2p_time = 0.0
+        if mapped.parallel.pipeline_parallel > 1:
+            from repro.workloads.operators import point_to_point
+
+            p2p_kernel = point_to_point("pp_boundary", mapped.p2p_bytes)
+            p2p_time = time_comm_kernel(
+                p2p_kernel, self.accelerator.fabric
+            ).time
+
+        pipeline = simulate_1f1b(
+            [t.total for t in stage_fwd],
+            [t.total for t in stage_bwd],
+            mapped.n_microbatches,
+            p2p_time,
+        )
+
+        dp_time = 0.0
+        if mapped.dp_allreduce is not None:
+            dp_time = time_comm_kernel(
+                mapped.dp_allreduce, self.accelerator.fabric
+            ).exposed_time
+
+        update = self.time_ops(mapped.update_ops)
+        time_per_batch = pipeline.total_time + dp_time + update.total
+
+        m = mapped.n_microbatches
+        p = len(stage_fwd)
+        # Per-device averages over the pipeline group (so the stacked
+        # decomposition sums to the total batch time).
+        avg_kernel = (
+            sum(t.compute_kernel_time for t in stage_fwd + stage_bwd) * m / p
+        )
+        avg_comm = (
+            sum(t.comm_exposed_time for t in stage_fwd + stage_bwd) * m / p
+            + dp_time
+            + (2 * (p - 1) * p2p_time / p if p > 1 else 0.0)
+        )
+        bubble = time_per_batch - avg_kernel - avg_comm - update.total
+
+        mem_bound = sum(t.memory_bound_time for t in stage_fwd + stage_bwd) * m / p
+        comp_bound = (
+            sum(t.compute_bound_time for t in stage_fwd + stage_bwd) * m / p
+        )
+
+        # Fig. 5 inset: forward GEMM time of one layer, one microbatch, split
+        # by boundedness (uses an interior stage: pure transformer layers).
+        interior = stage_fwd[min(1, p - 1)]
+        layers_interior = mapped.parallel.layers_per_stage(mapped.model.n_layers)[
+            min(1, p - 1)
+        ]
+        gemm_breakdown = GEMMBreakdown(
+            memory_bound_time=interior.gemm_memory_bound_time / max(1, layers_interior),
+            compute_bound_time=interior.gemm_compute_bound_time
+            / max(1, layers_interior),
+        )
+
+        return TrainingReport(
+            system_name=self.system.name,
+            model_name=mapped.model.name,
+            time_per_batch=time_per_batch,
+            compute_time=avg_kernel,
+            comm_time=avg_comm,
+            bubble_time=max(0.0, bubble),
+            update_time=update.total,
+            flops_per_batch=mapped.flops_per_batch,
+            n_accelerators=self.system.n_accelerators,
+            fw_gemm_breakdown=gemm_breakdown,
+            memory_bound_kernel_time=mem_bound,
+            compute_bound_kernel_time=comp_bound,
+            fits_memory=mapped.fits_memory,
+            tokens_processed=float(mapped.batch * mapped.seq_len),
+        )
+
+    # ------------------------------------------------------------- inference
+    def evaluate_inference(self, mapped: MappedInference) -> InferenceReport:
+        """Time one inference request: prefill + ``output_tokens`` decode steps."""
+        prefill = self.time_ops(mapped.prefill_ops)
+
+        contexts = mapped.decode_contexts()
+        n_steps = len(contexts)
+        k = min(self.decode_samples, n_steps)
+        sample_idx = sorted({round(i * (n_steps - 1) / max(1, k - 1)) for i in range(k)})
+        samples = {idx: self.time_ops(mapped.decode_ops_at(contexts[idx])) for idx in sample_idx}
+
+        # Piecewise-linear integration between sampled steps.
+        decode_time = 0.0
+        decode_comm = 0.0
+        decode_flops = 0.0
+        decode_mem_bound = 0.0
+        decode_comp_bound = 0.0
+        for left, right in zip(sample_idx, sample_idx[1:] + [None]):
+            if right is None:
+                break
+            span = right - left
+            t_l, t_r = samples[left], samples[right]
+            decode_time += (t_l.total + t_r.total) / 2 * span
+            decode_comm += (t_l.comm_exposed_time + t_r.comm_exposed_time) / 2 * span
+            decode_flops += (t_l.flops + t_r.flops) / 2 * span
+            decode_mem_bound += (
+                (t_l.memory_bound_time + t_r.memory_bound_time) / 2 * span
+            )
+            decode_comp_bound += (
+                (t_l.compute_bound_time + t_r.compute_bound_time) / 2 * span
+            )
+        # The trapezoid covers n_steps-1 intervals; add the final step once.
+        last = samples[sample_idx[-1]]
+        decode_time += last.total
+        decode_comm += last.comm_exposed_time
+        decode_flops += last.flops
+        decode_mem_bound += last.memory_bound_time
+        decode_comp_bound += last.compute_bound_time
+
+        latency = prefill.total + decode_time
+        tp = mapped.parallel.tensor_parallel
+        total_flops = (prefill.flops + decode_flops) * tp
+
+        return InferenceReport(
+            system_name=self.system.name,
+            model_name=mapped.model.name,
+            latency=latency,
+            prefill_time=prefill.total,
+            decode_time=decode_time,
+            comm_time=prefill.comm_exposed_time + decode_comm,
+            flops_total=total_flops,
+            n_accelerators=self.system.n_accelerators,
+            batch=mapped.batch,
+            input_tokens=mapped.input_tokens,
+            output_tokens=mapped.output_tokens,
+            kv_cache_bytes=mapped.kv_cache_bytes,
+            fits_memory=mapped.fits_memory,
+            memory_bound_kernel_time=prefill.memory_bound_time + decode_mem_bound,
+            compute_bound_kernel_time=prefill.compute_bound_time + decode_comp_bound,
+        )
+
+
+__all__ = ["Optimus"]

@@ -1,0 +1,114 @@
+"""Result structures with the breakdowns the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GEMMBreakdown:
+    """Per-layer forward GEMM time split by boundedness (Fig. 5 inset)."""
+
+    memory_bound_time: float
+    compute_bound_time: float
+
+    @property
+    def total(self) -> float:
+        """Total forward GEMM time per layer per microbatch."""
+        return self.memory_bound_time + self.compute_bound_time
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of GEMM time that is memory-bound."""
+        return self.memory_bound_time / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """One training step (per global batch) on a system.
+
+    The Fig. 6 decomposition: ``time_per_batch = compute + communication +
+    others`` where *others* is pipeline bubble + weight update (the paper's
+    definition).
+    """
+
+    system_name: str
+    model_name: str
+    time_per_batch: float
+    compute_time: float
+    comm_time: float
+    bubble_time: float
+    update_time: float
+    flops_per_batch: float
+    n_accelerators: int
+    fw_gemm_breakdown: GEMMBreakdown
+    memory_bound_kernel_time: float
+    compute_bound_kernel_time: float
+    fits_memory: bool = True
+
+    @property
+    def others_time(self) -> float:
+        """Pipeline bubble + weight update (the paper's "Others")."""
+        return self.bubble_time + self.update_time
+
+    @property
+    def achieved_flops_per_pu(self) -> float:
+        """Achieved FLOP/s per processing unit (Fig. 5 / Fig. 6 insets)."""
+        return self.flops_per_batch / (self.time_per_batch * self.n_accelerators)
+
+    #: Tokens in the global batch (batch × sequence length).
+    tokens_processed: float = 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Training throughput in tokens/s."""
+        if not self.tokens_processed:
+            return 0.0
+        return self.tokens_processed / self.time_per_batch
+
+    def breakdown(self) -> dict[str, float]:
+        """The stacked-bar decomposition of Fig. 6."""
+        return {
+            "compute": self.compute_time,
+            "communication": self.comm_time,
+            "others": self.others_time,
+        }
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """One inference request (prefill + full decode) on a system."""
+
+    system_name: str
+    model_name: str
+    latency: float
+    prefill_time: float
+    decode_time: float
+    comm_time: float
+    flops_total: float
+    n_accelerators: int
+    batch: int
+    input_tokens: int
+    output_tokens: int
+    kv_cache_bytes: float
+    fits_memory: bool
+    memory_bound_kernel_time: float
+    compute_bound_kernel_time: float
+
+    @property
+    def achieved_flops_per_pu(self) -> float:
+        """Achieved FLOP/s per processing unit (Fig. 7 insets)."""
+        return self.flops_total / (self.latency * self.n_accelerators)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Generated tokens per second (all sequences)."""
+        return self.batch * self.output_tokens / self.latency
+
+    @property
+    def time_per_output_token(self) -> float:
+        """Decode seconds per token step."""
+        return self.decode_time / self.output_tokens
+
+
+__all__ = ["GEMMBreakdown", "TrainingReport", "InferenceReport"]

@@ -1,0 +1,74 @@
+"""Hierarchical roofline: time one compute kernel on one accelerator.
+
+For a kernel with ``F`` FLOPs and ``B`` bytes whose working set is served by
+memory level ``ℓ``::
+
+    t_compute = F / (peak · efficiency)
+    t_memory  = latency(ℓ) + B / (bw_eff(ℓ) · stream_factor(AI))
+    t         = max(t_compute, t_memory) + kernel_overhead
+
+The kernel is *compute-bound* when ``t_compute ≥ t_memory`` and
+*memory-bound at level ℓ* otherwise — the classification behind the paper's
+Fig. 5 inset and the "crossover ≥ 16 TBps" observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.system import Accelerator
+from repro.workloads.operators import ComputeKernel
+
+
+class Boundedness(enum.Enum):
+    """What limits a kernel's execution time."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing verdict for one kernel."""
+
+    kernel: ComputeKernel
+    time: float
+    compute_time: float
+    memory_time: float
+    level_name: str
+    bound: Boundedness
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Convenience flag."""
+        return self.bound is Boundedness.MEMORY
+
+
+def time_compute_kernel(kernel: ComputeKernel, accel: Accelerator) -> KernelTiming:
+    """Apply the hierarchical roofline to ``kernel`` on ``accel``."""
+    compute_time = (
+        kernel.flops / accel.sustained_flops if kernel.flops > 0 else 0.0
+    )
+
+    level = accel.hierarchy.serving_level(kernel.placement_bytes)
+    stream_factor = accel.stream_efficiency.factor(kernel.arithmetic_intensity)
+    bandwidth = level.effective_bandwidth * stream_factor
+    total_bytes = kernel.bytes_total
+    memory_time = (
+        level.latency + total_bytes / bandwidth if total_bytes > 0 else 0.0
+    )
+
+    bound = Boundedness.COMPUTE if compute_time >= memory_time else Boundedness.MEMORY
+    elapsed = max(compute_time, memory_time) + accel.kernel_overhead
+    return KernelTiming(
+        kernel=kernel,
+        time=elapsed,
+        compute_time=compute_time,
+        memory_time=memory_time,
+        level_name=level.name,
+        bound=bound,
+    )
+
+
+__all__ = ["Boundedness", "KernelTiming", "time_compute_kernel"]

@@ -1,0 +1,100 @@
+"""Parameter-sweep utilities shared by the figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.system import SystemSpec
+from repro.core.model import Optimus
+from repro.core.report import InferenceReport, TrainingReport
+from repro.errors import require_positive
+from repro.parallel.mapper import map_inference, map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.workloads.llm import LLMConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the swept value plus the resulting report."""
+
+    value: float
+    report: TrainingReport | InferenceReport
+
+
+def sweep_dram_bandwidth(
+    model: LLMConfig,
+    system: SystemSpec,
+    bandwidths: Sequence[float],
+    mode: str = "training",
+    parallel: ParallelConfig | None = None,
+    batch: int = 128,
+    **kwargs,
+) -> list[SweepPoint]:
+    """Sweep the per-accelerator main-memory bandwidth (Fig. 5 / Fig. 7)."""
+    points: list[SweepPoint] = []
+    for bandwidth in bandwidths:
+        require_positive("bandwidth", bandwidth)
+        swept = system.with_dram_bandwidth(bandwidth)
+        optimus = Optimus(swept)
+        if mode == "training":
+            mapped = map_training(
+                model, swept, parallel or ParallelConfig(), batch, **kwargs
+            )
+            report: TrainingReport | InferenceReport = optimus.evaluate_training(
+                mapped
+            )
+        else:
+            mapped = map_inference(model, swept, parallel, batch, **kwargs)
+            report = optimus.evaluate_inference(mapped)
+        points.append(SweepPoint(value=bandwidth, report=report))
+    return points
+
+
+def sweep_dram_latency(
+    model: LLMConfig,
+    system: SystemSpec,
+    latencies: Sequence[float],
+    mode: str = "inference",
+    parallel: ParallelConfig | None = None,
+    batch: int = 8,
+    **kwargs,
+) -> list[SweepPoint]:
+    """Sweep the main-memory access latency (Fig. 7 inset a)."""
+    points: list[SweepPoint] = []
+    for latency in latencies:
+        swept = system.with_dram_latency(latency)
+        optimus = Optimus(swept)
+        if mode == "training":
+            mapped = map_training(
+                model, swept, parallel or ParallelConfig(), batch, **kwargs
+            )
+            report: TrainingReport | InferenceReport = optimus.evaluate_training(
+                mapped
+            )
+        else:
+            mapped = map_inference(model, swept, parallel, batch, **kwargs)
+            report = optimus.evaluate_inference(mapped)
+        points.append(SweepPoint(value=latency, report=report))
+    return points
+
+
+def sweep_batch_size(
+    model: LLMConfig,
+    system: SystemSpec,
+    batches: Sequence[int],
+    parallel: ParallelConfig | None = None,
+    **kwargs,
+) -> list[SweepPoint]:
+    """Sweep the inference batch size (Fig. 7 inset b / Fig. 8b)."""
+    optimus = Optimus(system)
+    points: list[SweepPoint] = []
+    for batch in batches:
+        mapped = map_inference(model, system, parallel, batch, **kwargs)
+        points.append(
+            SweepPoint(value=float(batch), report=optimus.evaluate_inference(mapped))
+        )
+    return points
+
+
+__all__ = ["SweepPoint", "sweep_dram_bandwidth", "sweep_dram_latency", "sweep_batch_size"]

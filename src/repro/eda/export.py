@@ -1,0 +1,112 @@
+"""Structural-Verilog export of PCL netlists.
+
+The paper's flow hands off to commercial place-and-route; an open release
+needs an interchange point, so :func:`to_verilog` emits a flat structural
+module (one instance per PCL cell, ``assign``-free) that downstream tools —
+or the paper's "Design Database" — can consume.  Cells appear as primitive
+module references (``PCL_AND2`` etc.); :func:`cell_stub_modules` emits
+behavioural stubs so the output is self-contained and lint-clean.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.pcl.library import PCLLibrary
+from repro.pcl.netlist import Netlist
+
+_IDENT = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Make a net/port name a legal Verilog identifier."""
+    clean = _IDENT.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = f"n_{clean}"
+    return clean
+
+
+def to_verilog(netlist: Netlist) -> str:
+    """Render ``netlist`` as a flat structural Verilog module."""
+    netlist.validate()
+    in_ports = [_sanitize(net.name) for net in netlist.inputs]
+    out_ports = [_sanitize(name) for name in netlist.output_names]
+
+    # Internal wires: every instance output that is not directly a port.
+    port_net_uids = {net.uid for net in netlist.inputs}
+    out_uid_by_port: dict[int, str] = {}
+    for name, net in zip(netlist.output_names, netlist.outputs):
+        out_uid_by_port[net.uid] = _sanitize(name)
+
+    wire_names: dict[int, str] = {}
+    for net in netlist.inputs:
+        wire_names[net.uid] = _sanitize(net.name)
+    for inst in netlist.instances:
+        for out in inst.outputs:
+            if out.uid in out_uid_by_port:
+                wire_names[out.uid] = out_uid_by_port[out.uid]
+            elif out.uid not in wire_names:
+                wire_names[out.uid] = _sanitize(f"w_{out.uid}")
+
+    internal = sorted(
+        name
+        for uid, name in wire_names.items()
+        if uid not in port_net_uids and uid not in out_uid_by_port
+    )
+
+    lines: list[str] = []
+    module = _sanitize(netlist.name)
+    ports = ", ".join(in_ports + out_ports)
+    lines.append(f"module {module}({ports});")
+    for port in in_ports:
+        lines.append(f"  input {port};")
+    for port in out_ports:
+        lines.append(f"  output {port};")
+    for wire in internal:
+        lines.append(f"  wire {wire};")
+    lines.append("")
+
+    for inst in netlist.instances:
+        cell = netlist.library[inst.cell]
+        pins = []
+        for k, net in enumerate(inst.inputs):
+            pins.append(f".i{k}({wire_names[net.uid]})")
+        for k, net in enumerate(inst.outputs):
+            pins.append(f".o{k}({wire_names[net.uid]})")
+        lines.append(
+            f"  PCL_{cell.name.upper()} u{inst.uid} ({', '.join(pins)});"
+        )
+
+    # Outputs fed directly by a primary input need a feed-through buffer.
+    driven = {net.uid for inst in netlist.instances for net in inst.outputs}
+    for name, net in zip(netlist.output_names, netlist.outputs):
+        if net.uid in port_net_uids and net.uid not in driven:
+            lines.append(
+                f"  PCL_BUF feed_{_sanitize(name)} "
+                f"(.i0({_sanitize(net.name)}), .o0({_sanitize(name)}));"
+            )
+
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def cell_stub_modules(library: PCLLibrary) -> str:
+    """Behavioural stubs for every referenced primitive (simulation aid)."""
+    blocks: list[str] = []
+    cells = dict(library.cells)
+    for name, cell in sorted(cells.items()):
+        ins = [f"i{k}" for k in range(cell.n_inputs)]
+        outs = [f"o{k}" for k in range(cell.n_outputs)]
+        ports = ", ".join(ins + outs)
+        lines = [f"module PCL_{name.upper()}({ports});"]
+        lines.extend(f"  input {p};" for p in ins)
+        lines.extend(f"  output {p};" for p in outs)
+        # Truth-table as a casez is overkill; emit a comment with the cell
+        # cost and leave the function to the PCL library documentation.
+        lines.append(f"  // {cell.jj_count} JJ, depth {cell.depth} phase(s)")
+        lines.append("endmodule")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+__all__ = ["to_verilog", "cell_stub_modules"]

@@ -1,0 +1,136 @@
+"""Splitter insertion (second PCL modification stage of Fig. 1h).
+
+An SFQ pulse drives exactly one load, so any net with fanout > 1 must be
+legalized with a tree of 1:2 splitter cells.  This pass rewrites the netlist,
+materializing binary splitter trees, and reports the junction/depth cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.pcl.library import PCLCell, PCLLibrary
+from repro.pcl.netlist import Instance, Net, Netlist
+
+
+@dataclass(frozen=True)
+class SplitterReport:
+    """Outcome of splitter insertion."""
+
+    netlist: Netlist
+    splitters_inserted: int
+    splitter_jj: int
+    max_fanout_before: int
+    nets_legalized: int
+
+
+def _library_with_splitter(library: PCLLibrary) -> PCLLibrary:
+    """Ensure the library contains the ``split2`` fanout cell."""
+    if "split2" in library:
+        return library
+    cells = dict(library.cells)
+    cells["split2"] = PCLCell(
+        name="split2",
+        n_inputs=1,
+        n_outputs=2,
+        jj_count=library.splitter_jj,
+        area=library.splitter_jj * 1e-12,
+        depth=library.splitter_depth,
+        function=lambda ins: (bool(ins[0]), bool(ins[0])),
+    )
+    return PCLLibrary(
+        cells=cells,
+        splitter_jj=library.splitter_jj,
+        buffer_jj=library.buffer_jj,
+        splitter_depth=library.splitter_depth,
+        buffer_depth=library.buffer_depth,
+    )
+
+
+def insert_splitters(netlist: Netlist) -> SplitterReport:
+    """Legalize fanout by inserting binary splitter trees.
+
+    Every net that feeds ``f > 1`` sinks (instance inputs and primary outputs
+    combined) is replaced by a tree of ``f - 1`` ``split2`` cells whose leaves
+    feed the original sinks.
+    """
+    netlist.validate()
+    library = _library_with_splitter(netlist.library)
+
+    net_uid = itertools.count(max((n.uid for n in netlist.nets()), default=0) + 1)
+    inst_uid = itertools.count(
+        max((i.uid for i in netlist.instances), default=0) + 1
+    )
+
+    # Collect sinks per net: (instance index, input position) plus output slots.
+    sink_map: dict[int, list[tuple[str, int, int]]] = {}
+    for idx, inst in enumerate(netlist.instances):
+        for pos, net in enumerate(inst.inputs):
+            sink_map.setdefault(net.uid, []).append(("inst", idx, pos))
+    for pos, net in enumerate(netlist.outputs):
+        sink_map.setdefault(net.uid, []).append(("port", pos, 0))
+
+    new_instances: list[Instance] = list(netlist.instances)
+    new_outputs: list[Net] = list(netlist.outputs)
+    splitters = 0
+    legalized = 0
+    max_fanout = max((len(s) for s in sink_map.values()), default=0)
+    nets_by_uid = {n.uid: n for n in netlist.nets()}
+
+    for uid, sinks in sink_map.items():
+        fanout = len(sinks)
+        if fanout <= 1:
+            continue
+        legalized += 1
+        source = nets_by_uid[uid]
+        # Grow leaves with a balanced binary splitter tree.
+        leaves: list[Net] = [source]
+        while len(leaves) < fanout:
+            parent = leaves.pop(0)
+            left = Net(uid=next(net_uid), name=f"{parent.name}_s0")
+            right = Net(uid=next(net_uid), name=f"{parent.name}_s1")
+            new_instances.append(
+                Instance(
+                    uid=next(inst_uid),
+                    cell="split2",
+                    inputs=(parent,),
+                    outputs=(left, right),
+                )
+            )
+            splitters += 1
+            leaves.extend([left, right])
+        for (kind, idx, pos), leaf in zip(sinks, leaves):
+            if kind == "inst":
+                inst = new_instances[idx]
+                inputs = list(inst.inputs)
+                inputs[pos] = leaf
+                new_instances[idx] = Instance(
+                    uid=inst.uid,
+                    cell=inst.cell,
+                    inputs=tuple(inputs),
+                    outputs=inst.outputs,
+                )
+            else:
+                new_outputs[idx] = leaf
+
+    result = Netlist(
+        name=netlist.name,
+        inputs=list(netlist.inputs),
+        outputs=new_outputs,
+        instances=new_instances,
+        library=library,
+        output_names=list(netlist.output_names),
+        free_input_buses=set(netlist.free_input_buses),
+    )
+    result.validate()
+    return SplitterReport(
+        netlist=result,
+        splitters_inserted=splitters,
+        splitter_jj=splitters * library.splitter_jj,
+        max_fanout_before=max_fanout,
+        nets_legalized=legalized,
+    )
+
+
+__all__ = ["SplitterReport", "insert_splitters"]

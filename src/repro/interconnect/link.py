@@ -1,0 +1,56 @@
+"""Point-to-point link model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Link:
+    """A physical link between two endpoints.
+
+    Parameters
+    ----------
+    name:
+        Identifier ("SPU-SPU torus link", "NVLink", "IB NDR").
+    bandwidth:
+        Unidirectional bandwidth, bytes/s.
+    latency:
+        Per-hop latency, seconds (serialization excluded — that's volume/bw).
+    energy_per_bit:
+        Joules per transferred bit, for energy accounting.
+    duplex:
+        True when both directions can run at full rate simultaneously.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    energy_per_bit: float = 0.0
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(f"{self.name} bandwidth", self.bandwidth)
+        require_non_negative(f"{self.name} latency", self.latency)
+        require_non_negative(f"{self.name} energy_per_bit", self.energy_per_bit)
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Latency + serialization time for ``n_bytes``."""
+        require_non_negative("n_bytes", n_bytes)
+        if n_bytes == 0:
+            return 0.0
+        return self.latency + n_bytes / self.bandwidth
+
+    def transfer_energy(self, n_bytes: float) -> float:
+        """Energy to move ``n_bytes`` across the link, joules."""
+        require_non_negative("n_bytes", n_bytes)
+        return n_bytes * 8.0 * self.energy_per_bit
+
+    def with_bandwidth(self, bandwidth: float) -> "Link":
+        """Copy with a different bandwidth."""
+        return replace(self, bandwidth=bandwidth)
+
+
+__all__ = ["Link"]

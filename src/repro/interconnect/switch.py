@@ -1,0 +1,112 @@
+"""The SCD switch: a hierarchical MUX-based crossbar (paper Sec. III, Fig. 3b).
+
+"Our SCD switch consists of a central crossbar that connects the input ports
+(+ associated buffers) to the control unit and output ports (+ associated
+buffers).  The building block of the crossbar is in turn the superconducting
+MUX-based cross-point unit.  Our crossbar is hierarchical: a first level of
+cross-point units routes each packet to the appropriate output port, and a
+second level serves as an aggregation point."
+
+The junction cost per cross-point is taken from the EDA flow's synthesized
+crossbar (design database), closing the loop between the logic layer and the
+architecture layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import require_positive
+from repro.units import GHZ
+
+
+@lru_cache(maxsize=1)
+def _crosspoint_jj_per_port_bit() -> float:
+    """JJ cost per (port × data-bit) of the MUX cross-point, from the flow.
+
+    Synthesizes the design-database 4×4 crossbar through the full PCL flow
+    and normalizes its datapath junction count.
+    """
+    from repro.eda.designs import crossbar
+    from repro.eda.flow import run_flow
+
+    report = run_flow(crossbar(4, 8))
+    return report.datapath_jj / (4 * 8)
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A radix-``n`` hierarchical crossbar switch.
+
+    Parameters
+    ----------
+    radix:
+        Port count (the SPU-local switch has N/S/E/W + local + SNU ports).
+    port_bandwidth:
+        Bytes/s per port.
+    frequency:
+        Core clock, Hz.
+    pipeline_cycles:
+        Cycles through the two cross-point levels plus buffering.
+    buffer_bytes_per_port:
+        Input/output buffering per port (HP JSRAM).
+    """
+
+    radix: int = 6
+    port_bandwidth: float = 18e12
+    frequency: float = 30 * GHZ
+    pipeline_cycles: int = 6
+    buffer_bytes_per_port: float = 64e3
+
+    def __post_init__(self) -> None:
+        require_positive("radix", self.radix)
+        require_positive("port_bandwidth", self.port_bandwidth)
+        require_positive("frequency", self.frequency)
+        require_positive("pipeline_cycles", self.pipeline_cycles)
+        require_positive("buffer_bytes_per_port", self.buffer_bytes_per_port)
+
+    @property
+    def traversal_latency(self) -> float:
+        """Port-to-port latency through both cross-point levels, seconds."""
+        return self.pipeline_cycles / self.frequency
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total switching capacity, bytes/s."""
+        return self.radix * self.port_bandwidth
+
+    @property
+    def port_width_bits(self) -> int:
+        """Parallel wires per port at the core clock."""
+        return math.ceil(self.port_bandwidth * 8.0 / self.frequency)
+
+    @property
+    def crosspoint_jj(self) -> float:
+        """Junctions in the two-level cross-point fabric.
+
+        First level: ``radix × radix`` cross-points routing to output ports;
+        second level: ``radix`` aggregation points.  Per-port-bit cost comes
+        from the synthesized MUX cross-point (see module docstring).
+        """
+        per_port_bit = _crosspoint_jj_per_port_bit()
+        first_level = self.radix * self.radix * self.port_width_bits * per_port_bit
+        second_level = self.radix * self.port_width_bits * per_port_bit
+        return first_level + second_level
+
+    @property
+    def buffer_jj(self) -> float:
+        """Junctions in the port buffers (HP JSRAM at 14 JJ/bit)."""
+        from repro.memory.jsram import HP_2R1W
+
+        total_bits = self.radix * self.buffer_bytes_per_port * 8.0 * 2  # in + out
+        return total_bits * HP_2R1W.jj_count
+
+    @property
+    def total_jj(self) -> float:
+        """Total switch junction estimate."""
+        return self.crosspoint_jj + self.buffer_jj
+
+
+__all__ = ["SwitchSpec"]

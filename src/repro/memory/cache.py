@@ -1,0 +1,97 @@
+"""Cache specifications assembled from JSRAM dies (paper Sec. IV-A).
+
+The SPU stack provides private L1 data caches from HD JSRAM dies and register
+files / L1 instruction caches from an HP JSRAM die; SNU stacks provide the
+blade-level shared L2 slices.  :class:`CacheSpec` captures the quantities the
+performance model needs and can derive them from a die count bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require_positive
+from repro.memory.jsram import JSRAMDie
+from repro.units import GHZ, NS
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level as seen by a single accelerator.
+
+    Attributes
+    ----------
+    name:
+        Level name ("L1D", "L2", ...).
+    capacity_bytes:
+        Usable capacity visible to one accelerator.
+    bandwidth:
+        Sustained bandwidth to one accelerator, bytes/s.
+    latency:
+        Load-to-use latency, seconds.
+    shared:
+        True when the capacity is shared among accelerators (the blade L2).
+    """
+
+    name: str
+    capacity_bytes: float
+    bandwidth: float
+    latency: float
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(f"{self.name} capacity_bytes", self.capacity_bytes)
+        require_positive(f"{self.name} bandwidth", self.bandwidth)
+        require_positive(f"{self.name} latency", self.latency)
+
+
+def l1_from_dies(
+    n_dies: int = 4,
+    die: JSRAMDie | None = None,
+    frequency: float = 30 * GHZ,
+    words_per_cycle_per_die: int = 2048,
+    pipeline_cycles: int = 4,
+) -> CacheSpec:
+    """Build the SPU private L1 D-cache from stacked HD JSRAM dies.
+
+    Baseline: 4 HD dies × ~6 MB usable = 24 MB (Fig. 3c), reading
+    ``words_per_cycle_per_die`` bytes per cycle per die through the dense
+    NbTiN TSV interface (2 KB/cycle/die × 4 dies × 30 GHz ≈ 246 TB/s —
+    JSRAM is never the roofline bottleneck, matching the paper's "dedicated
+    low latency memory hierarchy").
+    """
+    die = die or JSRAMDie()
+    require_positive("n_dies", n_dies)
+    capacity = n_dies * die.capacity_bytes
+    bandwidth = n_dies * words_per_cycle_per_die * frequency
+    return CacheSpec(
+        name="L1D",
+        capacity_bytes=capacity,
+        bandwidth=bandwidth,
+        latency=pipeline_cycles / frequency,
+        shared=False,
+    )
+
+
+def l2_slice_spec(
+    total_capacity_bytes: float,
+    n_sharers: int,
+    bandwidth_per_sharer: float,
+    network_latency: float = 10 * NS,
+) -> CacheSpec:
+    """Build the blade-shared L2 view of a single SPU.
+
+    The SNU JSRAM stacks form a distributed shared L2; each SPU sees the full
+    capacity at its network-attach bandwidth plus a torus traversal latency.
+    """
+    require_positive("n_sharers", n_sharers)
+    return CacheSpec(
+        name="L2",
+        capacity_bytes=total_capacity_bytes,
+        bandwidth=bandwidth_per_sharer,
+        latency=network_latency,
+        shared=True,
+    )
+
+
+__all__ = ["CacheSpec", "l1_from_dies", "l2_slice_spec"]

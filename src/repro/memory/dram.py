@@ -1,0 +1,82 @@
+"""Cryo-DRAM: stock DDR/LPDDR packages operated at 77 K (paper Sec. III).
+
+The paper's main-memory block is deliberately boring: regular DDR-X/LPDDR-X
+packages with *no* customization, bonded on a 77 K silicon interposer.
+Operating DRAM cold brings documented side benefits (retention improves by
+orders of magnitude, so refresh nearly disappears; row access energy drops),
+which we expose as derating factors so power/latency studies can use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require_fraction, require_positive
+from repro.units import GB, NS, TBPS
+
+
+@dataclass(frozen=True)
+class CryoDRAMPackage:
+    """One quad-die LPDDR/DDR package at 77 K."""
+
+    name: str = "LPDDRx-quad"
+    capacity_bytes: float = 32 * GB
+    bandwidth: float = 0.5 * TBPS
+    access_latency: float = 30 * NS
+    #: Fraction of 300 K refresh power still needed at 77 K — retention
+    #: grows by ~5 orders of magnitude when cooled (Wang et al., IMW'18),
+    #: making refresh essentially free.
+    refresh_power_factor: float = 1e-4
+    #: Dynamic-energy derating at 77 K versus 300 K operation.
+    access_energy_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_bytes", self.capacity_bytes)
+        require_positive("bandwidth", self.bandwidth)
+        require_positive("access_latency", self.access_latency)
+        require_fraction("refresh_power_factor", self.refresh_power_factor)
+        require_fraction("access_energy_factor", self.access_energy_factor)
+
+
+@dataclass(frozen=True)
+class CryoDRAMBlock:
+    """An array of cryo-DRAM packages on a 77 K interposer (Fig. 3d).
+
+    The baseline blade uses an 8×8 array of quad-die packages for 2 TB of
+    shared main memory behind the 30 TBps datalink.
+    """
+
+    package: CryoDRAMPackage = CryoDRAMPackage()
+    rows: int = 8
+    columns: int = 8
+
+    def __post_init__(self) -> None:
+        require_positive("rows", self.rows)
+        require_positive("columns", self.columns)
+
+    @property
+    def n_packages(self) -> int:
+        """Package count on the interposer."""
+        return self.rows * self.columns
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Total block capacity, bytes (baseline: 64 × 32 GB ≈ 2 TB)."""
+        return self.n_packages * self.package.capacity_bytes
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate package bandwidth, bytes/s.
+
+        The *delivered* bandwidth to the 4 K domain is the minimum of this
+        and the datalink bandwidth — the architecture layer takes that min.
+        """
+        return self.n_packages * self.package.bandwidth
+
+    @property
+    def access_latency(self) -> float:
+        """Average read/write latency of the block, seconds."""
+        return self.package.access_latency
+
+
+__all__ = ["CryoDRAMPackage", "CryoDRAMBlock"]

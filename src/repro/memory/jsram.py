@@ -1,0 +1,188 @@
+"""JSRAM: Josephson SRAM cells, macros and dies (paper Sec. II-B, Fig. 1e).
+
+JSRAM is the paper's on-chip memory: a superconducting SRAM with XY
+addressing analogous to CMOS SRAM, enabling 4 MB/cm² — a 600× density jump
+over older SFQ-compatible memories.  Three cell variants are modelled:
+
+========  ======  ================  =========================
+variant   JJs     ports             used for
+========  ======  ================  =========================
+HD        8       1R/1W             L1/L2 data caches
+HP        14      2R/1W             high-speed buffers, L1 I$
+HP        29      3R/2W             register files
+========  ======  ================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import require_fraction, require_positive
+from repro.units import GHZ, MM2, UM2
+
+
+@dataclass(frozen=True)
+class JSRAMCell:
+    """A JSRAM bit cell variant."""
+
+    name: str
+    jj_count: int
+    read_ports: int
+    write_ports: int
+    area: float  # m² per bit
+
+    def __post_init__(self) -> None:
+        require_positive("jj_count", self.jj_count)
+        require_positive("read_ports", self.read_ports)
+        require_positive("write_ports", self.write_ports)
+        require_positive("area", self.area)
+
+    @property
+    def bit_density(self) -> float:
+        """Raw array density, bits/m² (no periphery)."""
+        return 1.0 / self.area
+
+
+#: Fig. 1e: the high-density single-port cell — 8 JJs, 1.86 µm².
+HD_1R1W = JSRAMCell("HD 1R/1W", jj_count=8, read_ports=1, write_ports=1, area=1.86 * UM2)
+#: High-performance dual-read variant (14 JJs); area scales with JJ count.
+HP_2R1W = JSRAMCell(
+    "HP 2R/1W", jj_count=14, read_ports=2, write_ports=1, area=1.86 * UM2 * 14 / 8
+)
+#: High-performance register-file variant (29 JJs).
+HP_3R2W = JSRAMCell(
+    "HP 3R/2W", jj_count=29, read_ports=3, write_ports=2, area=1.86 * UM2 * 29 / 8
+)
+
+
+@dataclass(frozen=True)
+class JSRAMMacro:
+    """A banked JSRAM array with periphery.
+
+    Parameters
+    ----------
+    cell:
+        Bit-cell variant.
+    capacity_bytes:
+        Usable data capacity.
+    banks:
+        Independently accessible banks.
+    word_bits:
+        Access width per bank port, bits.
+    frequency:
+        Access clock, Hz (30 GHz system clock by default).
+    array_efficiency:
+        Fraction of macro area that is bit cells (rest is periphery:
+        decoders, sense, clocking).  Table I's "density incl. peri"
+        corresponds to ~0.75 for the HD cell.
+    """
+
+    cell: JSRAMCell = HD_1R1W
+    capacity_bytes: float = 1e6
+    banks: int = 16
+    word_bits: int = 256
+    frequency: float = 30 * GHZ
+    array_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_bytes", self.capacity_bytes)
+        require_positive("banks", self.banks)
+        require_positive("word_bits", self.word_bits)
+        require_positive("frequency", self.frequency)
+        require_fraction("array_efficiency", self.array_efficiency)
+
+    @property
+    def bits(self) -> float:
+        """Stored bits."""
+        return self.capacity_bytes * 8.0
+
+    @property
+    def jj_count(self) -> float:
+        """Array junction count (cells only)."""
+        return self.bits * self.cell.jj_count
+
+    @property
+    def area(self) -> float:
+        """Macro area in m², including periphery."""
+        return self.bits * self.cell.area / self.array_efficiency
+
+    @property
+    def density_bits_per_mm2(self) -> float:
+        """Macro density including periphery, bits/mm²."""
+        return self.bits / (self.area / MM2)
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Aggregate read bandwidth, bytes/s (all banks, all read ports)."""
+        return self.banks * self.cell.read_ports * self.word_bits / 8.0 * self.frequency
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Aggregate write bandwidth, bytes/s."""
+        return (
+            self.banks * self.cell.write_ports * self.word_bits / 8.0 * self.frequency
+        )
+
+    def access_latency(self, pipeline_cycles: int = 4) -> float:
+        """Bank access latency in seconds (decode + array + sense pipeline)."""
+        require_positive("pipeline_cycles", pipeline_cycles)
+        return pipeline_cycles / self.frequency
+
+    def with_capacity(self, capacity_bytes: float) -> "JSRAMMacro":
+        """Same macro scaled to a different capacity."""
+        return replace(self, capacity_bytes=capacity_bytes)
+
+
+@dataclass(frozen=True)
+class JSRAMDie:
+    """A full JSRAM die of the SPU/SNU stacks (12×12 mm in the paper).
+
+    Capacity follows from Table I's density-including-periphery
+    (~0.4 Mbit/mm² for HD): a 144 mm² die stores ~7.2 MB raw, of which
+    ``usable_fraction`` (ECC, tags, spare rows) is data.
+    """
+
+    area_mm2: float = 144.0
+    cell: JSRAMCell = HD_1R1W
+    density_bits_per_mm2: float = 0.4e6
+    usable_fraction: float = 5.0 / 6.0
+
+    def __post_init__(self) -> None:
+        require_positive("area_mm2", self.area_mm2)
+        require_positive("density_bits_per_mm2", self.density_bits_per_mm2)
+        require_fraction("usable_fraction", self.usable_fraction)
+
+    @property
+    def raw_capacity_bytes(self) -> float:
+        """Raw storage on the die, bytes."""
+        return self.area_mm2 * self.density_bits_per_mm2 / 8.0
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Usable data capacity, bytes."""
+        return self.raw_capacity_bytes * self.usable_fraction
+
+    @property
+    def jj_count(self) -> float:
+        """Junctions in the cell arrays."""
+        return self.area_mm2 * self.density_bits_per_mm2 * self.cell.jj_count
+
+    def dies_for_capacity(self, capacity_bytes: float) -> int:
+        """Number of dies needed to provide ``capacity_bytes`` of data.
+
+        A relative tolerance absorbs float round-off so that e.g. exactly
+        4 × 6 MB asks for 4 dies, not 5.
+        """
+        require_positive("capacity_bytes", capacity_bytes)
+        return math.ceil(capacity_bytes / self.capacity_bytes * (1.0 - 1e-9))
+
+
+__all__ = [
+    "JSRAMCell",
+    "JSRAMMacro",
+    "JSRAMDie",
+    "HD_1R1W",
+    "HP_2R1W",
+    "HP_3R2W",
+]

@@ -1,0 +1,28 @@
+"""Parallelization strategies and the distributed mapper (paper Sec. V).
+
+"Using the above parameters and a chosen combination of parallelization
+strategies, such as data parallelism (DP), tensor model parallelism (TP) and
+pipeline parallelism (PP), the workload is mapped onto the underlying system
+architecture.  In DP the model is replicated and data is sharded; in TP the
+model is sharded and data is replicated; in PP the model is sharded layer
+wise and data is divided into small chunks injected in a pipeline fashion."
+"""
+
+from repro.parallel.strategy import ParallelConfig
+from repro.parallel.pipeline import PipelineTiming, simulate_1f1b
+from repro.parallel.mapper import (
+    MappedInference,
+    MappedTraining,
+    map_inference,
+    map_training,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "PipelineTiming",
+    "simulate_1f1b",
+    "MappedTraining",
+    "MappedInference",
+    "map_training",
+    "map_inference",
+]

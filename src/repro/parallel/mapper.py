@@ -1,0 +1,338 @@
+"""The distributed mapper: place an LLM workload onto a system (Sec. V).
+
+"For a given system architecture and workload, we assess the most optimal
+mapping, reducing communication overhead."  The mapper applies a
+:class:`~repro.parallel.strategy.ParallelConfig` to a model and emits the
+per-device kernel lists the Optimus evaluator times:
+
+* **training** — per-pipeline-stage forward/backward op lists per microbatch
+  (tensor-parallel collectives embedded), stage-boundary point-to-point
+  sizes, the data-parallel gradient all-reduce, and the optimizer step;
+* **inference** — prefill op list plus a decode-step op-list builder
+  parameterized by context length (the KV cache grows as tokens generate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.system import SystemSpec
+from repro.errors import MappingError, require_positive
+from repro.parallel.strategy import ParallelConfig
+from repro.workloads.llm import LLMConfig
+from repro.workloads.operators import (
+    CommKernel,
+    CommPattern,
+    ComputeKernel,
+    Op,
+    Phase,
+    all_reduce,
+    optimizer_step,
+)
+from repro.workloads.transformer import (
+    LayerShape,
+    backward_ops,
+    embedding_ops,
+    layer_forward_ops,
+    lm_head_ops,
+    total_compute_flops,
+)
+
+#: Bytes of optimizer state per parameter (bf16 weights + grads, fp32 Adam
+#: moments and master copy ≈ 18 B — the usual mixed-precision recipe).
+OPTIMIZER_BYTES_PER_PARAM = 18.0
+
+from repro.workloads.operators import KernelKind
+
+
+def _attach_residency(
+    ops: list[Op], weight_resident: float, kv_resident: float = 0.0
+) -> list[Op]:
+    """Annotate kernels with the persistent footprint they touch.
+
+    Weight-streaming kernels (and embedding gathers) can only be served by a
+    level that holds the device's *entire* weight shard; attention
+    score/context kernels by a level holding the KV cache.  This is what
+    makes the hierarchical roofline "hierarchical": per-kernel bytes may be
+    small, but the data they page through is the full resident set.
+    """
+    annotated: list[Op] = []
+    for op in ops:
+        if isinstance(op, ComputeKernel):
+            if op.weight_bytes > 0 or op.kind is KernelKind.EMBEDDING:
+                op = op.with_residency(weight_resident)
+            elif kv_resident > 0 and op.kind in (
+                KernelKind.ATTN_SCORE,
+                KernelKind.ATTN_CONTEXT,
+            ):
+                op = op.with_residency(kv_resident)
+        annotated.append(op)
+    return annotated
+
+
+@dataclass(frozen=True)
+class MappedTraining:
+    """A training step mapped onto a system."""
+
+    model: LLMConfig
+    system: SystemSpec
+    parallel: ParallelConfig
+    batch: int
+    seq_len: int
+    precision_bytes: float
+    stage_fwd_ops: tuple[tuple[Op, ...], ...]
+    stage_bwd_ops: tuple[tuple[Op, ...], ...]
+    p2p_bytes: float
+    n_microbatches: int
+    dp_allreduce: CommKernel | None
+    update_ops: tuple[Op, ...]
+
+    @property
+    def flops_per_batch(self) -> float:
+        """Useful FLOPs per global batch across the whole system (fwd+bwd)."""
+        per_microbatch = sum(
+            total_compute_flops(list(stage))
+            for stage in self.stage_fwd_ops + self.stage_bwd_ops
+        )
+        replicas = self.parallel.data_parallel
+        tp = self.parallel.tensor_parallel
+        return per_microbatch * self.n_microbatches * replicas * tp
+
+    @property
+    def memory_per_device(self) -> float:
+        """Weights + optimizer state per device, bytes (activations excluded)."""
+        shards = self.parallel.tensor_parallel * self.parallel.pipeline_parallel
+        return self.model.n_params / shards * OPTIMIZER_BYTES_PER_PARAM
+
+    @property
+    def fits_memory(self) -> bool:
+        """Whether the static state fits each device's main memory."""
+        return (
+            self.memory_per_device
+            <= self.system.accelerator.memory_capacity_bytes
+        )
+
+
+@dataclass(frozen=True)
+class MappedInference:
+    """An inference request (prefill + decode) mapped onto a system."""
+
+    model: LLMConfig
+    system: SystemSpec
+    parallel: ParallelConfig
+    batch: int
+    input_tokens: int
+    output_tokens: int
+    precision_bytes: float
+    prefill_ops: tuple[Op, ...]
+    decode_ops_at: Callable[[int], tuple[Op, ...]] = field(repr=False)
+
+    @property
+    def kv_cache_bytes(self) -> float:
+        """KV-cache allocation for the batch (at the model's context window,
+        the paper's capacity accounting)."""
+        return self.model.kv_cache_bytes(self.batch, bytes_per_element=self.precision_bytes)
+
+    @property
+    def weights_bytes(self) -> float:
+        """Total model weights at working precision."""
+        return self.model.weight_bytes(self.precision_bytes)
+
+    @property
+    def memory_required(self) -> float:
+        """System-wide memory for weights + KV cache."""
+        return self.weights_bytes + self.kv_cache_bytes
+
+    @property
+    def fits_memory(self) -> bool:
+        """Whether weights + KV fit the system's total main memory (the GPU
+        ceiling of Fig. 8b)."""
+        return self.memory_required <= self.system.total_memory_capacity
+
+    def decode_contexts(self) -> list[int]:
+        """The context length at each decode step."""
+        return [
+            self.input_tokens + step for step in range(self.output_tokens)
+        ]
+
+
+def map_training(
+    model: LLMConfig,
+    system: SystemSpec,
+    parallel: ParallelConfig,
+    batch: int,
+    seq_len: int | None = None,
+    precision_bytes: float = 2.0,
+    tp_overlap: float = 0.0,
+) -> MappedTraining:
+    """Map one training step (fwd + bwd + update) onto ``system``."""
+    require_positive("batch", batch)
+    seq = model.max_seq_len if seq_len is None else seq_len
+    require_positive("seq_len", seq)
+    parallel.validate(model, system.n_accelerators, batch)
+
+    tp = parallel.tensor_parallel
+    shape = LayerShape(
+        n_tokens=parallel.microbatch_size * seq,
+        batch_seqs=parallel.microbatch_size,
+        kv_len=seq,
+        tp=tp,
+        bytes_per_element=precision_bytes,
+        tp_overlap=tp_overlap,
+    )
+    weight_resident = (
+        model.n_params / (tp * parallel.pipeline_parallel) * precision_bytes
+    )
+    layer_fwd = _attach_residency(layer_forward_ops(model, shape), weight_resident)
+    layer_bwd = _attach_residency(backward_ops(layer_fwd), weight_resident)
+
+    stage_fwd: list[tuple[Op, ...]] = []
+    stage_bwd: list[tuple[Op, ...]] = []
+    layer_counts = parallel.layers_per_stage(model.n_layers)
+    for stage, n_layers in enumerate(layer_counts):
+        fwd: list[Op] = []
+        bwd: list[Op] = []
+        if stage == 0:
+            emb = _attach_residency(
+                embedding_ops(model, shape.n_tokens, precision_bytes),
+                weight_resident,
+            )
+            fwd.extend(emb)
+            bwd.extend(backward_ops(emb))
+        fwd.extend(op for _ in range(n_layers) for op in layer_fwd)
+        bwd.extend(op for _ in range(n_layers) for op in layer_bwd)
+        if stage == len(layer_counts) - 1:
+            head = _attach_residency(
+                lm_head_ops(model, shape.n_tokens, tp, precision_bytes),
+                weight_resident,
+            )
+            fwd.extend(head)
+            bwd.extend(backward_ops(head))
+        stage_fwd.append(tuple(fwd))
+        stage_bwd.append(tuple(bwd))
+
+    n_micro = parallel.n_microbatches(batch)
+    p2p_bytes = shape.n_tokens * model.hidden * precision_bytes
+
+    dp_comm: CommKernel | None = None
+    if parallel.data_parallel > 1:
+        grad_bytes = (
+            model.n_params
+            / (tp * parallel.pipeline_parallel)
+            * precision_bytes
+        )
+        # DP ranks are the outermost mapping dimension — they sit in
+        # different nodes/blades, so the gradient all-reduce crosses the
+        # inter-group fabric.
+        dp_comm = all_reduce(
+            "dp_grad_allreduce",
+            grad_bytes,
+            parallel.data_parallel,
+            Phase.BACKWARD,
+            spans_groups=True,
+        )
+
+    params_per_device = model.n_params / (tp * parallel.pipeline_parallel)
+    update = (optimizer_step("adam_update", params_per_device),)
+
+    return MappedTraining(
+        model=model,
+        system=system,
+        parallel=parallel,
+        batch=batch,
+        seq_len=seq,
+        precision_bytes=precision_bytes,
+        stage_fwd_ops=tuple(stage_fwd),
+        stage_bwd_ops=tuple(stage_bwd),
+        p2p_bytes=p2p_bytes,
+        n_microbatches=n_micro,
+        dp_allreduce=dp_comm,
+        update_ops=update,
+    )
+
+
+def map_inference(
+    model: LLMConfig,
+    system: SystemSpec,
+    parallel: ParallelConfig | None = None,
+    batch: int = 8,
+    input_tokens: int = 200,
+    output_tokens: int = 200,
+    precision_bytes: float = 2.0,
+) -> MappedInference:
+    """Map an inference request onto ``system``.
+
+    The paper's inference setup uses pure tensor parallelism ("the number of
+    SPUs is the same as the TP degree"), which is the default when
+    ``parallel`` is omitted.
+    """
+    require_positive("batch", batch)
+    require_positive("input_tokens", input_tokens)
+    require_positive("output_tokens", output_tokens)
+    if parallel is None:
+        parallel = ParallelConfig(tensor_parallel=system.n_accelerators)
+    parallel.validate(model, system.n_accelerators, batch)
+    if parallel.pipeline_parallel != 1 or parallel.data_parallel != 1:
+        raise MappingError(
+            "inference mapping supports tensor parallelism only "
+            "(the paper's configuration)"
+        )
+    tp = parallel.tensor_parallel
+
+    # Persistent footprints are annotated at their *total* size: the only
+    # level above DRAM that could hold them is the blade-shared L2/JSRAM
+    # pool (Sec. VI study and the JSRAM future-work study), and a shared
+    # level must hold every device's shard at once.
+    weight_resident = model.n_params * precision_bytes
+    kv_resident = model.kv_cache_bytes(batch, bytes_per_element=precision_bytes)
+
+    prefill_shape = LayerShape(
+        n_tokens=batch * input_tokens,
+        batch_seqs=batch,
+        kv_len=input_tokens,
+        tp=tp,
+        bytes_per_element=precision_bytes,
+    )
+    prefill: list[Op] = []
+    prefill.extend(embedding_ops(model, prefill_shape.n_tokens, precision_bytes, Phase.PREFILL))
+    layer = layer_forward_ops(model, prefill_shape, Phase.PREFILL)
+    prefill.extend(op for _ in range(model.n_layers) for op in layer)
+    prefill.extend(lm_head_ops(model, batch, tp, precision_bytes, Phase.PREFILL))
+    prefill = _attach_residency(prefill, weight_resident, kv_resident)
+
+    def decode_ops_at(context: int) -> tuple[Op, ...]:
+        shape = LayerShape(
+            n_tokens=batch,
+            batch_seqs=batch,
+            kv_len=max(1, context),
+            tp=tp,
+            bytes_per_element=precision_bytes,
+        )
+        ops: list[Op] = []
+        ops.extend(embedding_ops(model, batch, precision_bytes, Phase.DECODE))
+        step_layer = layer_forward_ops(model, shape, Phase.DECODE)
+        ops.extend(op for _ in range(model.n_layers) for op in step_layer)
+        ops.extend(lm_head_ops(model, batch, tp, precision_bytes, Phase.DECODE))
+        return tuple(_attach_residency(ops, weight_resident, kv_resident))
+
+    return MappedInference(
+        model=model,
+        system=system,
+        parallel=parallel,
+        batch=batch,
+        input_tokens=input_tokens,
+        output_tokens=output_tokens,
+        precision_bytes=precision_bytes,
+        prefill_ops=tuple(prefill),
+        decode_ops_at=decode_ops_at,
+    )
+
+
+__all__ = [
+    "OPTIMIZER_BYTES_PER_PARAM",
+    "MappedTraining",
+    "MappedInference",
+    "map_training",
+    "map_inference",
+]

@@ -1,0 +1,145 @@
+"""Pipeline-parallel schedule model: non-interleaved 1F1B (PipeDream-flush).
+
+The schedule Megatron-LM uses and the paper's "pipeline bubble" term comes
+from: each stage performs ``p - s`` warm-up forwards, then alternates one
+forward / one backward, then drains.  For uniform stages the total is the
+classic ``(m + p - 1)(t_f + t_b)``, i.e. bubble fraction ``(p-1)/(m+p-1)``.
+
+``simulate_1f1b`` is an exact event-driven evaluation of the schedule's
+dependency graph, so non-uniform stages (unequal layer counts, embedding and
+LM-head stages) and point-to-point latencies are handled without
+approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MappingError, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Result of a pipeline-schedule evaluation."""
+
+    total_time: float
+    bubble_time: float
+    n_stages: int
+    n_microbatches: int
+    stage_busy_times: tuple[float, ...]
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the schedule the bottleneck stage idles."""
+        if self.total_time == 0:
+            return 0.0
+        return self.bubble_time / self.total_time
+
+
+def analytic_1f1b(
+    fwd_time: float, bwd_time: float, n_stages: int, n_microbatches: int, p2p_time: float = 0.0
+) -> float:
+    """Closed-form 1F1B total for uniform stages (used to cross-check the
+    simulator): ``(m + p - 1)(t_f + t_b) + 2(p - 1)·δ``."""
+    require_positive("n_stages", n_stages)
+    require_positive("n_microbatches", n_microbatches)
+    return (n_microbatches + n_stages - 1) * (fwd_time + bwd_time) + 2 * (
+        n_stages - 1
+    ) * p2p_time
+
+
+def simulate_1f1b(
+    stage_fwd_times: Sequence[float],
+    stage_bwd_times: Sequence[float],
+    n_microbatches: int,
+    p2p_time: float = 0.0,
+) -> PipelineTiming:
+    """Event-driven evaluation of the non-interleaved 1F1B schedule.
+
+    Parameters
+    ----------
+    stage_fwd_times / stage_bwd_times:
+        Per-stage forward/backward time of one microbatch, seconds.
+    n_microbatches:
+        Microbatches per step (``m``).
+    p2p_time:
+        Activation/gradient hand-off time between adjacent stages.
+    """
+    p = len(stage_fwd_times)
+    if p == 0 or len(stage_bwd_times) != p:
+        raise MappingError("stage time lists must be non-empty and equal length")
+    require_positive("n_microbatches", n_microbatches)
+    require_non_negative("p2p_time", p2p_time)
+    m = n_microbatches
+
+    # Per-stage operation sequences of the schedule.
+    sequences: list[list[tuple[str, int]]] = []
+    for s in range(p):
+        warmup = min(m, p - s)
+        seq: list[tuple[str, int]] = [("F", j) for j in range(warmup)]
+        next_fwd = warmup
+        for j in range(m):
+            seq.append(("B", j))
+            if next_fwd < m:
+                seq.append(("F", next_fwd))
+                next_fwd += 1
+        sequences.append(seq)
+
+    fwd_end: list[list[float | None]] = [[None] * m for _ in range(p)]
+    bwd_end: list[list[float | None]] = [[None] * m for _ in range(p)]
+    stage_time = [0.0] * p
+    pointer = [0] * p
+    remaining = sum(len(seq) for seq in sequences)
+
+    while remaining:
+        progressed = False
+        for s in range(p):
+            while pointer[s] < len(sequences[s]):
+                kind, j = sequences[s][pointer[s]]
+                if kind == "F":
+                    if s == 0:
+                        ready = 0.0
+                    else:
+                        upstream = fwd_end[s - 1][j]
+                        if upstream is None:
+                            break
+                        ready = upstream + p2p_time
+                    start = max(stage_time[s], ready)
+                    fwd_end[s][j] = start + stage_fwd_times[s]
+                    stage_time[s] = fwd_end[s][j]
+                else:
+                    own_fwd = fwd_end[s][j]
+                    if own_fwd is None:
+                        break
+                    if s == p - 1:
+                        ready = own_fwd
+                    else:
+                        downstream = bwd_end[s + 1][j]
+                        if downstream is None:
+                            break
+                        ready = max(own_fwd, downstream + p2p_time)
+                    start = max(stage_time[s], ready)
+                    bwd_end[s][j] = start + stage_bwd_times[s]
+                    stage_time[s] = bwd_end[s][j]
+                pointer[s] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            raise MappingError("1F1B schedule deadlocked (internal error)")
+
+    total = max(stage_time)
+    busy = tuple(
+        m * (stage_fwd_times[s] + stage_bwd_times[s]) for s in range(p)
+    )
+    bubble = total - max(busy)
+    return PipelineTiming(
+        total_time=total,
+        bubble_time=max(0.0, bubble),
+        n_stages=p,
+        n_microbatches=m,
+        stage_busy_times=busy,
+    )
+
+
+__all__ = ["PipelineTiming", "simulate_1f1b", "analytic_1f1b"]

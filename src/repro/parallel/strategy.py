@@ -1,0 +1,101 @@
+"""Parallelization-strategy configuration (TP × PP × DP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.errors import MappingError, require_positive
+from repro.workloads.llm import LLMConfig
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A (TP, PP, DP) decomposition plus the pipeline microbatch size.
+
+    ``tensor_parallel × pipeline_parallel × data_parallel`` must equal the
+    number of processing units the workload runs on.
+    """
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+    microbatch_size: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive("tensor_parallel", self.tensor_parallel)
+        require_positive("pipeline_parallel", self.pipeline_parallel)
+        require_positive("data_parallel", self.data_parallel)
+        require_positive("microbatch_size", self.microbatch_size)
+
+    @property
+    def world_size(self) -> int:
+        """Total processing units used."""
+        return self.tensor_parallel * self.pipeline_parallel * self.data_parallel
+
+    def validate(self, model: LLMConfig, n_accelerators: int, batch: int) -> None:
+        """Check the decomposition against the model and system."""
+        if self.world_size != n_accelerators:
+            raise MappingError(
+                f"TPxPPxDP = {self.world_size} does not match "
+                f"{n_accelerators} accelerators"
+            )
+        if model.n_heads % self.tensor_parallel:
+            raise MappingError(
+                f"{model.name}: {model.n_heads} heads not divisible by "
+                f"TP={self.tensor_parallel}"
+            )
+        if self.pipeline_parallel > model.n_layers:
+            raise MappingError(
+                f"{model.name}: PP={self.pipeline_parallel} exceeds "
+                f"{model.n_layers} layers"
+            )
+        if batch % self.data_parallel:
+            raise MappingError(
+                f"batch {batch} not divisible by DP={self.data_parallel}"
+            )
+        per_replica = batch // self.data_parallel
+        if per_replica % self.microbatch_size:
+            raise MappingError(
+                f"per-replica batch {per_replica} not divisible by "
+                f"microbatch size {self.microbatch_size}"
+            )
+
+    def n_microbatches(self, batch: int) -> int:
+        """Pipeline microbatches per replica per step."""
+        return batch // self.data_parallel // self.microbatch_size
+
+    def layers_per_stage(self, n_layers: int) -> list[int]:
+        """Layer counts per pipeline stage (front stages take the remainder)."""
+        base = n_layers // self.pipeline_parallel
+        extra = n_layers % self.pipeline_parallel
+        return [
+            base + (1 if stage < extra else 0)
+            for stage in range(self.pipeline_parallel)
+        ]
+
+    def with_microbatch(self, microbatch_size: int) -> "ParallelConfig":
+        """Copy with a different microbatch size."""
+        return replace(self, microbatch_size=microbatch_size)
+
+
+def enumerate_strategies(
+    model: LLMConfig, n_accelerators: int, batch: int
+) -> Iterator[ParallelConfig]:
+    """All valid (TP, PP, DP) decompositions for the optimizer to score."""
+    for tp in range(1, n_accelerators + 1):
+        if n_accelerators % tp or model.n_heads % tp:
+            continue
+        rest = n_accelerators // tp
+        for pp in range(1, rest + 1):
+            if rest % pp or pp > model.n_layers:
+                continue
+            dp = rest // pp
+            if batch % dp:
+                continue
+            yield ParallelConfig(
+                tensor_parallel=tp, pipeline_parallel=pp, data_parallel=dp
+            )
+
+
+__all__ = ["ParallelConfig", "enumerate_strategies"]

@@ -1,0 +1,73 @@
+"""Dual-rail signal model for pulse-conserving logic.
+
+In a PCL circuit each digital signal comprises two physical wires carrying
+complementary pulse trains.  Inversion is achieved by swapping the wires —
+eliminating the inversion delay inherent to the data encoding of other
+AC-powered SCD families (paper Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Polarity(enum.Enum):
+    """Which physical rail of a dual-rail pair a wire carries."""
+
+    POS = "pos"
+    NEG = "neg"
+
+    def inverted(self) -> "Polarity":
+        """Return the opposite rail."""
+        return Polarity.NEG if self is Polarity.POS else Polarity.POS
+
+
+@dataclass(frozen=True)
+class DualRail:
+    """A dual-rail logical value.
+
+    ``pos`` carries the asserted sense and ``neg`` its complement.  A valid
+    PCL wave presents a pulse on exactly one rail per clock phase; the boolean
+    abstraction used by the functional simulator therefore enforces
+    ``neg == not pos``.
+    """
+
+    pos: bool
+    neg: bool
+
+    def __post_init__(self) -> None:
+        if self.pos == self.neg:
+            raise ValueError(
+                "dual-rail value must assert exactly one rail, got "
+                f"pos={self.pos} neg={self.neg}"
+            )
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "DualRail":
+        """Encode a boolean as a dual-rail value."""
+        return cls(pos=bool(value), neg=not value)
+
+    def __bool__(self) -> bool:
+        return self.pos
+
+    def __invert__(self) -> "DualRail":
+        """Logical inversion — a free rail swap in PCL."""
+        return DualRail(pos=self.neg, neg=self.pos)
+
+    def __and__(self, other: "DualRail") -> "DualRail":
+        return DualRail.from_bool(self.pos and other.pos)
+
+    def __or__(self, other: "DualRail") -> "DualRail":
+        return DualRail.from_bool(self.pos or other.pos)
+
+    def __xor__(self, other: "DualRail") -> "DualRail":
+        return DualRail.from_bool(self.pos != other.pos)
+
+
+def majority3(a: bool, b: bool, c: bool) -> bool:
+    """Three-input majority — the carry function and a native PCL primitive."""
+    return (a and b) or (b and c) or (a and c)
+
+
+__all__ = ["Polarity", "DualRail", "majority3"]

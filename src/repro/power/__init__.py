@@ -1,0 +1,33 @@
+"""Power and energy modeling (the paper's declared future work).
+
+"A more detailed look into the power breakdown ... lie[s] outside the scope
+of this paper and will be pursued as future work."  This package builds that
+breakdown bottom-up from the substrate models:
+
+* device switching energy (``I_c·Φ₀`` per JJ event vs ``C·V²`` per FinFET),
+* JSRAM/cryo-DRAM access energy,
+* interconnect energy per bit (NbTiN vs Cu/NVLink/IB),
+* the cryogenic wall-plug overhead (specific power of 4 K and 77 K
+  cooling stages),
+
+and evaluates energy per training batch and per generated token for the SCD
+blade against the GPU baseline — quantifying the intro's claims (100× lower
+on-chip power, 10,000× cheaper communication, the GPT-3 ~1,300 MWh training
+figure).
+"""
+
+from repro.power.energy import (
+    CoolingModel,
+    EnergyBreakdown,
+    PowerModel,
+    gpu_power_model,
+    scd_power_model,
+)
+
+__all__ = [
+    "CoolingModel",
+    "EnergyBreakdown",
+    "PowerModel",
+    "scd_power_model",
+    "gpu_power_model",
+]

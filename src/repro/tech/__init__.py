@@ -1,0 +1,47 @@
+"""Technology layer: device, process, and interconnect models (paper Sec. II, Table I).
+
+This package encodes the measured SCD technology data the paper builds on —
+NbTiN/αSi/NbTiN Josephson junctions, NbTiN BEOL interconnects, HZO MIM
+capacitors — alongside the CMOS 5 nm reference process used for the GPU
+comparison.  Everything downstream (PCL gate costs, JSRAM density, compute-die
+sizing) consumes these models rather than hard-coded numbers.
+"""
+
+from repro.tech.device import (
+    DeviceKind,
+    FinFET,
+    JosephsonJunction,
+    MIMCapacitor,
+)
+from repro.tech.process import (
+    CMOS_5NM,
+    SCD_NBTIN,
+    CMOSProcess,
+    ProcessNode,
+    SCDProcess,
+)
+from repro.tech.interconnect import (
+    CU_M1,
+    NBTIN_M1,
+    TransmissionLine,
+    WireMaterial,
+)
+from repro.tech.table import technology_comparison_rows, technology_comparison_table
+
+__all__ = [
+    "DeviceKind",
+    "FinFET",
+    "JosephsonJunction",
+    "MIMCapacitor",
+    "ProcessNode",
+    "SCDProcess",
+    "CMOSProcess",
+    "SCD_NBTIN",
+    "CMOS_5NM",
+    "WireMaterial",
+    "TransmissionLine",
+    "NBTIN_M1",
+    "CU_M1",
+    "technology_comparison_rows",
+    "technology_comparison_table",
+]

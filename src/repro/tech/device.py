@@ -1,0 +1,235 @@
+"""Active-device models: Josephson junctions, FinFETs, and MIM capacitors.
+
+The paper's technology stack (Sec. II-A, Fig. 1) is built from three
+fabricated primitives:
+
+* NbTiN/αSi/NbTiN **Josephson junctions** (JJs) — the switching device of
+  SCD logic.  A JJ emits a single-flux-quantum (SFQ) pulse whose area is the
+  flux quantum Φ₀; the energy dissipated per switching event is approximately
+  ``I_c · Φ₀`` and, crucially, does *not* scale with the lithography node but
+  with the thermal-noise floor ``k_B · T`` (the paper's "sub-attojoule at ps
+  time scales" claim).
+* **FinFETs** — the CMOS 5 nm reference device used for the GPU baseline.
+* NbTiN/HZO/NbTiN tunable **MIM capacitors** — passives of the resonant-AC
+  power-distribution network.
+
+These models expose exactly the quantities the upper layers consume: switching
+energy, switching delay, device area/density, and noise margins.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import require_positive
+from repro.units import BOLTZMANN, FLUX_QUANTUM, NM
+
+
+class DeviceKind(enum.Enum):
+    """The switching-device families modelled by this package."""
+
+    JOSEPHSON_JUNCTION = "josephson_junction"
+    FINFET = "finfet"
+
+
+@dataclass(frozen=True)
+class JosephsonJunction:
+    """A single NbTiN/αSi/NbTiN Josephson junction.
+
+    Parameters
+    ----------
+    critical_current:
+        Junction critical current ``I_c`` in amperes.  The paper's αSi-barrier
+        junctions at 210–500 nm diameters sit in the tens of µA.
+    diameter:
+        Physical junction diameter in metres (paper: 210–500 nm with
+        σ < 2 % CD control across a 300 mm wafer).
+    characteristic_voltage:
+        ``I_c · R_n`` product in volts; sets the intrinsic switching speed.
+        Table I quotes ~1.0 mV signal levels.
+    temperature:
+        Operating temperature in kelvin (4.2 K compute domain).
+    """
+
+    critical_current: float = 50e-6
+    diameter: float = 210 * NM
+    characteristic_voltage: float = 1.0e-3
+    temperature: float = 4.2
+
+    def __post_init__(self) -> None:
+        require_positive("critical_current", self.critical_current)
+        require_positive("diameter", self.diameter)
+        require_positive("characteristic_voltage", self.characteristic_voltage)
+        require_positive("temperature", self.temperature)
+
+    @property
+    def switching_energy(self) -> float:
+        """Energy per switching event, ``E = I_c · Φ₀`` (joules).
+
+        For ``I_c = 50 µA`` this is ~1.0e-19 J — the paper's "sub-attojoule"
+        energy scale.
+        """
+        return self.critical_current * FLUX_QUANTUM
+
+    @property
+    def switching_delay(self) -> float:
+        """Intrinsic SFQ pulse width ``τ ≈ Φ₀ / V_c`` (seconds).
+
+        At ``V_c = 1 mV`` this is ~2 ps, i.e. the "ps time scales" of the
+        paper and comfortably above the 30 GHz system clock requirement.
+        """
+        return FLUX_QUANTUM / self.characteristic_voltage
+
+    @property
+    def max_switching_rate(self) -> float:
+        """Upper bound on the switching rate, ``1 / τ`` (hertz)."""
+        return 1.0 / self.switching_delay
+
+    @property
+    def thermal_energy(self) -> float:
+        """Thermal-noise energy ``k_B · T`` at the operating point (joules)."""
+        return BOLTZMANN * self.temperature
+
+    @property
+    def thermal_stability_factor(self) -> float:
+        """Dimensionless ratio ``E_switch / (k_B·T)``.
+
+        SCD device energy is referenced to thermal noise rather than to a
+        process node; values of a few thousand give comfortably low bit-error
+        rates.  For the default junction this is ~1.8e3.
+        """
+        return self.switching_energy / self.thermal_energy
+
+    @property
+    def area(self) -> float:
+        """Junction footprint in m² (circular device)."""
+        return math.pi * (self.diameter / 2.0) ** 2
+
+    def bit_error_rate(self) -> float:
+        """Crude Arrhenius estimate of the storage bit-error rate.
+
+        ``BER ≈ exp(-E/kT)``; astronomically small for any realistic junction,
+        provided here so noise-margin sweeps have something physical to bound.
+        Returns 0.0 when the exponent underflows.
+        """
+        exponent = -self.thermal_stability_factor
+        if exponent < -700.0:
+            return 0.0
+        return math.exp(exponent)
+
+    def scaled(self, diameter: float) -> "JosephsonJunction":
+        """Return a junction scaled to ``diameter``.
+
+        Critical current scales with junction area at constant critical current
+        density, which is how the paper sweeps its 210–500 nm CD range.
+        """
+        require_positive("diameter", diameter)
+        ratio = (diameter / self.diameter) ** 2
+        return JosephsonJunction(
+            critical_current=self.critical_current * ratio,
+            diameter=diameter,
+            characteristic_voltage=self.characteristic_voltage,
+            temperature=self.temperature,
+        )
+
+
+@dataclass(frozen=True)
+class FinFET:
+    """A CMOS 5 nm FinFET, the reference device of Table I.
+
+    Only the quantities consumed by the system comparison are modelled:
+    supply voltage, effective switching capacitance, and area.
+    """
+
+    supply_voltage: float = 0.7
+    effective_capacitance: float = 0.1e-15
+    gate_pitch: float = 51 * NM
+    fin_pitch: float = 28 * NM
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        require_positive("supply_voltage", self.supply_voltage)
+        require_positive("effective_capacitance", self.effective_capacitance)
+        require_positive("gate_pitch", self.gate_pitch)
+        require_positive("fin_pitch", self.fin_pitch)
+        require_positive("temperature", self.temperature)
+
+    @property
+    def switching_energy(self) -> float:
+        """Dynamic energy per switching event, ``E = C_eff · V_dd²`` (joules).
+
+        ~5e-17 J for the defaults: several hundred times the JJ figure, which
+        is the root of the paper's energy-advantage claims.
+        """
+        return self.effective_capacitance * self.supply_voltage**2
+
+    @property
+    def thermal_energy(self) -> float:
+        """Thermal-noise energy ``k_B · T`` (joules)."""
+        return BOLTZMANN * self.temperature
+
+    @property
+    def thermal_stability_factor(self) -> float:
+        """``E_switch / (k_B·T)`` — comparable across device families."""
+        return self.switching_energy / self.thermal_energy
+
+    @property
+    def area(self) -> float:
+        """Approximate device footprint in m² (gate pitch × 2 fin pitches)."""
+        return self.gate_pitch * 2.0 * self.fin_pitch
+
+
+@dataclass(frozen=True)
+class MIMCapacitor:
+    """NbTiN/HZO/NbTiN tunable MIM capacitor (resonant AC power network).
+
+    The paper fabricates these at 195–600 nm diameters with σ < 2 % CD control;
+    together with NbTiN wiring they form the resonant clock/power network that
+    lets PCL run AC-powered without the DC bias-network losses of RSFQ.
+    """
+
+    diameter: float = 195 * NM
+    capacitance_density: float = 30e-3  # F/m² (≈ 30 fF/µm², HZO high-k)
+    tuning_range: float = 0.15
+
+    def __post_init__(self) -> None:
+        require_positive("diameter", self.diameter)
+        require_positive("capacitance_density", self.capacitance_density)
+        require_positive("tuning_range", self.tuning_range)
+
+    @property
+    def area(self) -> float:
+        """Capacitor plate area in m²."""
+        return math.pi * (self.diameter / 2.0) ** 2
+
+    @property
+    def capacitance(self) -> float:
+        """Nominal capacitance in farads."""
+        return self.capacitance_density * self.area
+
+    def resonant_frequency(self, inductance: float) -> float:
+        """LC resonance ``f = 1/(2π√(LC))`` for a given wiring inductance (H).
+
+        Used to check that the AC power network can be tuned to the 30 GHz
+        system clock.
+        """
+        require_positive("inductance", inductance)
+        return 1.0 / (2.0 * math.pi * math.sqrt(inductance * self.capacitance))
+
+
+#: Default devices used across the library.
+DEFAULT_JJ = JosephsonJunction()
+DEFAULT_FINFET = FinFET()
+DEFAULT_MIM = MIMCapacitor()
+
+__all__ = [
+    "DeviceKind",
+    "JosephsonJunction",
+    "FinFET",
+    "MIMCapacitor",
+    "DEFAULT_JJ",
+    "DEFAULT_FINFET",
+    "DEFAULT_MIM",
+]

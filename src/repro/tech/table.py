@@ -1,0 +1,108 @@
+"""Regenerate Table I ("Specifications for the SCD technology stack").
+
+The benchmark ``bench_table1_technology.py`` calls
+:func:`technology_comparison_rows` and checks each derived quantity against the
+paper's numbers; :func:`technology_comparison_table` renders the same content
+as a human-readable table for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tech.process import CMOS_5NM, SCD_NBTIN, CMOSProcess, SCDProcess
+from repro.units import GHZ, MM2, UM2
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of the Table I comparison."""
+
+    parameter: str
+    cmos: str
+    scd: str
+
+
+def technology_comparison_rows(
+    cmos: CMOSProcess = CMOS_5NM, scd: SCDProcess = SCD_NBTIN
+) -> list[TableRow]:
+    """Build Table I rows from the two process models."""
+    rows = [
+        TableRow(
+            "Operating Frequency",
+            f"{cmos.operating_frequency / GHZ:.0f}GHz",
+            f"{scd.operating_frequency / GHZ:.0f}GHz",
+        ),
+        TableRow("Device", "FinFET", "Josephson Junction"),
+        TableRow(
+            "- Device Density",
+            f"~{cmos.device_density * MM2 / 1e6:.0f}M/mm2",
+            f"~{scd.device_density * MM2 / 1e6:.0f}M/mm2",
+        ),
+        TableRow(
+            "- Voltage",
+            f"{cmos.signal_voltage:.1f}V",
+            f"~{scd.signal_voltage * 1e3:.1f}mV",
+        ),
+        TableRow("On-chip Memory", "SRAM", "JSRAM"),
+        TableRow(
+            "- Density (incl. peri)",
+            f"~{cmos.sram_bit_density * MM2 / 8e6:.1f}MB/mm2",
+            f"~{scd.sram_bit_density * MM2 / 1e6:.1f}Mb/mm2",
+        ),
+        TableRow(
+            "- HD Unit Cell",
+            f"{cmos.sram_cell_devices}T {cmos.sram_cell_area / UM2:.3f}um2",
+            f"{scd.sram_cell_devices}JJ {scd.sram_cell_area / UM2:.2f}um2",
+        ),
+        TableRow("Lithography", cmos.lithography, scd.lithography),
+        TableRow("ML stack layers", str(cmos.metal_layers), str(scd.metal_layers)),
+        TableRow("Interconnects", "Cu", "NbTiN"),
+        TableRow(
+            "- Minimum MP",
+            f"{cmos.min_metal_pitch * 1e9:.0f}nm",
+            f"{scd.min_metal_pitch * 1e9:.0f}nm",
+        ),
+        TableRow(
+            "- Power Efficiency",
+            f"{cmos.interconnect_bits_per_pj / 1e9:.1f}Gb@1pJ/bit",
+            f"~{scd.interconnect_bits_per_pj / 1e9:.0f}Gb@1pJ/bit",
+        ),
+    ]
+    return rows
+
+
+def render_table(rows: Sequence[TableRow], headers: tuple[str, str, str]) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    widths = [
+        max(len(headers[0]), *(len(r.parameter) for r in rows)),
+        max(len(headers[1]), *(len(r.cmos) for r in rows)),
+        max(len(headers[2]), *(len(r.scd) for r in rows)),
+    ]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = [sep]
+    lines.append(
+        "| "
+        + " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+        + " |"
+    )
+    lines.append(sep)
+    for row in rows:
+        cells = (row.parameter, row.cmos, row.scd)
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def technology_comparison_table(
+    cmos: CMOSProcess = CMOS_5NM, scd: SCDProcess = SCD_NBTIN
+) -> str:
+    """Render Table I as ASCII text."""
+    rows = technology_comparison_rows(cmos, scd)
+    return render_table(rows, ("Parameter", "CMOS 5nm", "This work"))
+
+
+__all__ = ["TableRow", "technology_comparison_rows", "technology_comparison_table", "render_table"]

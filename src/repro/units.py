@@ -1,0 +1,132 @@
+"""Unit constants and conversion helpers used throughout the library.
+
+All internal quantities are SI unless a name says otherwise:
+
+* time        — seconds
+* frequency   — hertz
+* bandwidth   — bytes / second
+* capacity    — bytes
+* energy      — joules
+* length/area — metres / square metres  (die geometry helpers use mm/mm² and
+  say so in their names)
+
+The constants below let call sites read like the paper: ``30 * GHZ``,
+``16 * TBPS``, ``30 * NS``, ``24 * MB``.
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+
+# --- frequency ----------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- capacity (decimal, as used by the paper's TB/GB figures) ------------
+BYTE = 1.0
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+# --- capacity (binary, used for cache/JSRAM arrays) ----------------------
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+TIB = 1024.0**4
+
+# --- bandwidth ------------------------------------------------------------
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+TBPS = 1e12
+#: bits/second helpers (lower-case ``b``); divide by 8 to obtain bytes/s.
+GBITPS = 1e9 / 8.0
+TBITPS = 1e12 / 8.0
+
+# --- compute throughput ---------------------------------------------------
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+
+# --- energy ----------------------------------------------------------------
+AJ = 1e-18
+FJ = 1e-15
+PJ = 1e-12
+NJ = 1e-9
+
+# --- geometry ----------------------------------------------------------------
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+CM = 1e-2
+MM2 = 1e-6  # m²
+CM2 = 1e-4  # m²
+UM2 = 1e-12  # m²
+
+# --- physical constants -------------------------------------------------------
+#: Magnetic flux quantum Φ₀ = h / (2e), in webers.  Sets the SFQ pulse area and
+#: thereby the switching energy scale E ≈ I_c · Φ₀ of a Josephson junction.
+FLUX_QUANTUM = 2.067833848e-15
+#: Boltzmann constant, J/K.  SCD switching energy budgets are referenced to
+#: thermal noise k_B·T rather than to a process node.
+BOLTZMANN = 1.380649e-23
+#: Electron charge, coulombs.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def to_unit(value: float, unit: float) -> float:
+    """Express ``value`` (SI) in multiples of ``unit``.
+
+    >>> to_unit(2.45e15, PFLOPS)
+    2.45
+    """
+    return value / unit
+
+
+def from_unit(value: float, unit: float) -> float:
+    """Convert ``value`` given in ``unit`` multiples into SI.
+
+    >>> from_unit(30, GHZ)
+    30000000000.0
+    """
+    return value * unit
+
+
+def fmt_si(value: float, unit_symbol: str = "", digits: int = 3) -> str:
+    """Render ``value`` with an engineering prefix (k, M, G, T, P, ...).
+
+    >>> fmt_si(2.45e15, 'FLOP/s')
+    '2.45 PFLOP/s'
+    """
+    prefixes = [
+        (1e18, "E"),
+        (1e15, "P"),
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    if value == 0:
+        return f"0 {unit_symbol}".strip()
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit_symbol}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit_symbol}".strip()

@@ -1,0 +1,59 @@
+"""Workload layer: LLM configurations and kernel-level task graphs.
+
+Optimus "ingests a detailed task graph with the LLM model parameters such as
+number of layers, attention heads, hidden dimension, input/output shapes,
+sequence length, batch-size, working precision" (paper Sec. V).  This package
+provides:
+
+* :mod:`operators` — the kernel vocabulary (GEMMs, attention, normalization,
+  element-wise, embedding, optimizer, collectives) with exact FLOP and byte
+  accounting;
+* :mod:`transformer` — per-layer kernel builders for dense and MoE
+  transformer blocks, forward and backward, with tensor-parallel sharding;
+* :mod:`llm` — the model zoo of the paper's evaluation (GPT-3 18.4B/76.1B/
+  175B, Llama-70B/405B, Llama2-7B/13B/70B, MoE-132B/38B) plus KV-cache
+  accounting;
+* :mod:`training` / :mod:`inference` — phase-level task-graph assembly.
+"""
+
+from repro.workloads.operators import (
+    CommKernel,
+    CommPattern,
+    ComputeKernel,
+    KernelKind,
+    Op,
+    Phase,
+)
+from repro.workloads.llm import (
+    GPT3_175B,
+    GPT3_18B,
+    GPT3_76B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA2_7B,
+    LLAMA_405B,
+    LLAMA_70B,
+    MOE_132B,
+    LLMConfig,
+    MODEL_ZOO,
+)
+
+__all__ = [
+    "KernelKind",
+    "Phase",
+    "CommPattern",
+    "ComputeKernel",
+    "CommKernel",
+    "Op",
+    "LLMConfig",
+    "MODEL_ZOO",
+    "GPT3_18B",
+    "GPT3_76B",
+    "GPT3_175B",
+    "LLAMA_70B",
+    "LLAMA_405B",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "MOE_132B",
+]

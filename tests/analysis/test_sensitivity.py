@@ -1,0 +1,53 @@
+"""Sensitivity-analysis tests (reduced workload; full sweep in benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityEntry,
+    inference_speedup_sensitivity,
+)
+from repro.workloads.llm import LLAMA_70B
+
+
+class TestEntry:
+    def test_swing_and_worst_case(self):
+        entry = SensitivityEntry(
+            parameter="p",
+            low_setting=1.0,
+            high_setting=2.0,
+            speedup_at_low=6.0,
+            speedup_at_high=10.0,
+            baseline_speedup=8.0,
+        )
+        assert entry.swing == pytest.approx(4.0)
+        assert entry.worst_case == pytest.approx(6.0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return inference_speedup_sensitivity(
+            model=LLAMA_70B, io_tokens=(40, 20)
+        )
+
+    def test_all_knobs_present(self, result):
+        names = [e.parameter for e in result.entries]
+        assert len(names) == 4
+        assert any("stream" in n for n in names)
+        assert any("outstanding" in n for n in names)
+
+    def test_baseline_within_every_range_or_near(self, result):
+        for entry in result.entries:
+            low = min(entry.speedup_at_low, entry.speedup_at_high)
+            high = max(entry.speedup_at_low, entry.speedup_at_high)
+            assert low <= result.baseline_speedup * 1.05
+            assert high >= result.baseline_speedup * 0.95
+
+    def test_conclusion_robust(self, result):
+        assert all(entry.worst_case > 3.0 for entry in result.entries)
+
+    def test_tornado_ordering(self, result):
+        swings = [e.swing for e in result.sorted_by_swing()]
+        assert swings == sorted(swings, reverse=True)

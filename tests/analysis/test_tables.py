@@ -1,0 +1,42 @@
+"""Table-generator tests."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import (
+    blade_spec_table,
+    datalink_table,
+    render_two_column,
+    table1_technology,
+)
+
+
+class TestTable1:
+    def test_contains_headline_values(self):
+        text = table1_technology()
+        assert "30GHz" in text
+        assert "Josephson Junction" in text
+        assert "JSRAM" in text
+
+
+class TestDatalinkTable:
+    def test_rows(self):
+        rows = datalink_table()
+        names = [r[0] for r in rows]
+        assert "Wire Width" in names
+        assert "No. of wires" in names
+        by_name = {r[0]: r for r in rows}
+        assert by_name["No. of wires"][1] == "20,000"
+        assert by_name["No. of wires"][2] == "10,000"
+        assert "20 TBps" in by_name["Bandwidth"][1]
+
+
+class TestBladeTable:
+    def test_rows(self):
+        rows = dict(blade_spec_table())
+        assert rows["No. of SPUs"] == "64 (8 x 8)"
+        assert "30 TBps" in rows["Bi-directional Main Memory bandwidth"]
+
+    def test_render_two_column_rectangular(self):
+        text = render_two_column(blade_spec_table(), ("Parameter", "Value"))
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1

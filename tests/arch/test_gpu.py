@@ -1,0 +1,65 @@
+"""GPU-baseline builder tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.gpu import (
+    H100Specs,
+    build_gpu_system,
+    h100_accelerator,
+    h100_fabric,
+    h100_hierarchy,
+)
+from repro.errors import ConfigError
+from repro.interconnect.collectives import CollectiveAlgorithm
+
+
+class TestHierarchy:
+    def test_level_order(self):
+        hierarchy = h100_hierarchy()
+        assert hierarchy.names == ("L1", "L2", "DRAM")
+
+    def test_hbm_no_bdp_limit(self):
+        # GPUs hide DRAM latency with deep memory-level parallelism.
+        dram = h100_hierarchy()["DRAM"]
+        assert dram.outstanding_bytes is None
+        assert dram.effective_bandwidth == dram.bandwidth
+
+    def test_bandwidth_ordering(self):
+        hierarchy = h100_hierarchy()
+        assert (
+            hierarchy["L1"].bandwidth
+            > hierarchy["L2"].bandwidth
+            > hierarchy["DRAM"].bandwidth
+        )
+
+
+class TestFabric:
+    def test_intra_uses_switch_reduction(self):
+        fabric = h100_fabric()
+        assert fabric.intra.algorithm is CollectiveAlgorithm.SWITCH_REDUCTION
+        assert fabric.inter.algorithm is CollectiveAlgorithm.RING
+
+    def test_nvlink_faster_than_ib(self):
+        fabric = h100_fabric()
+        assert fabric.intra.bandwidth > fabric.inter.bandwidth
+
+
+class TestBuilders:
+    def test_custom_specs_propagate(self):
+        specs = H100Specs(hbm_bandwidth=2e12)
+        accel = h100_accelerator(specs)
+        assert accel.hierarchy["DRAM"].bandwidth == 2e12
+
+    def test_system_name(self):
+        assert build_gpu_system(8).name == "8x H100"
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            build_gpu_system(0)
+
+    def test_stream_efficiency_asymmetric(self):
+        accel = h100_accelerator()
+        assert accel.stream_efficiency.factor(1.0) < 0.3
+        assert accel.stream_efficiency.factor(1e5) > 0.8

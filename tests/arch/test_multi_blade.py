@@ -1,0 +1,69 @@
+"""Multi-blade scaling tests (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.multi_blade import InterBladeLink, MultiBladeSystem, build_multi_blade
+from repro.core.model import Optimus
+from repro.errors import ConfigError
+from repro.interconnect.collectives import HierarchicalFabric
+from repro.parallel.mapper import map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.workloads.llm import GPT3_76B
+
+
+class TestAssembly:
+    def test_spu_count(self):
+        assert build_multi_blade(2).n_spus == 128
+        assert build_multi_blade(4).n_spus == 256
+
+    def test_fabric_is_hierarchical(self):
+        fabric = build_multi_blade(2).fabric()
+        assert isinstance(fabric, HierarchicalFabric)
+        assert fabric.group_size == 64
+        assert fabric.inter.alpha > fabric.intra.alpha
+
+    def test_system_name_and_memory(self):
+        system = build_multi_blade(2).system()
+        assert system.n_accelerators == 128
+        # Each blade brings its own 2 TB pool.
+        assert system.total_memory_capacity == pytest.approx(2 * 2.048e12)
+
+    def test_link_validation(self):
+        with pytest.raises(ConfigError):
+            InterBladeLink(bandwidth_per_spu=0)
+
+
+class TestScaling:
+    def test_data_parallel_throughput_scales(self):
+        """The paper's expectation: performance scales with blade count."""
+        tokens_per_second = []
+        for n_blades in (1, 2, 4):
+            system = build_multi_blade(n_blades).system().with_dram_bandwidth(16e12)
+            parallel = ParallelConfig(8, 8, n_blades)
+            report = Optimus(system).evaluate_training(
+                map_training(GPT3_76B, system, parallel, 64 * n_blades)
+            )
+            tokens_per_second.append(report.tokens_per_second)
+        assert tokens_per_second[1] / tokens_per_second[0] > 1.9
+        assert tokens_per_second[2] / tokens_per_second[0] > 3.7
+
+    def test_cross_blade_allreduce_costs_more(self):
+        mb = build_multi_blade(2)
+        fabric = mb.fabric()
+        intra = fabric.all_reduce_time(1e6, 64)
+        cross = fabric.all_reduce_time(1e6, 128)
+        assert cross > intra
+
+    def test_slow_links_hurt_dp(self):
+        slow = build_multi_blade(2, link=InterBladeLink(bandwidth_per_spu=1e10))
+        fast = build_multi_blade(2, link=InterBladeLink(bandwidth_per_spu=4e12))
+        parallel = ParallelConfig(8, 8, 2)
+        t_slow = Optimus(slow.system().with_dram_bandwidth(16e12)).evaluate_training(
+            map_training(GPT3_76B, slow.system().with_dram_bandwidth(16e12), parallel, 128)
+        ).time_per_batch
+        t_fast = Optimus(fast.system().with_dram_bandwidth(16e12)).evaluate_training(
+            map_training(GPT3_76B, fast.system().with_dram_bandwidth(16e12), parallel, 128)
+        ).time_per_batch
+        assert t_slow > t_fast

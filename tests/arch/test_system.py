@@ -1,0 +1,79 @@
+"""Accelerator/SystemSpec abstraction tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.system import StreamEfficiency
+from repro.units import TBPS
+
+
+class TestStreamEfficiency:
+    def test_flat_default(self):
+        eff = StreamEfficiency()
+        assert eff.factor(1.0) == 1.0
+        assert eff.factor(1e6) == 1.0
+
+    def test_ramp_endpoints(self):
+        eff = StreamEfficiency(low_ai_efficiency=0.2, high_ai_efficiency=0.8)
+        assert eff.factor(0.0) == pytest.approx(0.2)
+        assert eff.factor(float("inf")) == pytest.approx(0.8)
+
+    def test_half_ramp_at_threshold(self):
+        eff = StreamEfficiency(
+            low_ai_efficiency=0.2, high_ai_efficiency=0.8, ai_threshold=64
+        )
+        assert eff.factor(64) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_monotone_in_intensity(self, ai):
+        eff = StreamEfficiency(low_ai_efficiency=0.2, high_ai_efficiency=0.8)
+        assert eff.factor(ai * 2 + 1) >= eff.factor(ai)
+
+    def test_zero_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEfficiency(low_ai_efficiency=0.0)
+
+
+class TestAccelerator:
+    def test_sustained_flops(self, scd_system):
+        accel = scd_system.accelerator
+        assert accel.sustained_flops == pytest.approx(
+            accel.peak_flops * accel.compute_efficiency
+        )
+
+    def test_ridge_intensity_uses_effective_bw(self, scd_system_16tbps):
+        accel = scd_system_16tbps.accelerator
+        ridge = accel.ridge_intensity()
+        assert ridge == pytest.approx(
+            accel.sustained_flops / accel.hierarchy.last.effective_bandwidth
+        )
+        # Against L1 the ridge is tiny — on-chip JSRAM feeds the array.
+        assert accel.ridge_intensity("L1") < 10
+
+    def test_with_dram_bandwidth_immutably_updates(self, scd_system):
+        swept = scd_system.with_dram_bandwidth(16 * TBPS)
+        assert swept.accelerator.hierarchy["DRAM"].bandwidth == 16 * TBPS
+        assert scd_system.accelerator.hierarchy["DRAM"].bandwidth != 16 * TBPS
+
+    def test_with_dram_latency(self, scd_system):
+        swept = scd_system.with_dram_latency(100e-9)
+        assert swept.accelerator.hierarchy["DRAM"].latency == 100e-9
+
+
+class TestSystemSpec:
+    def test_totals(self, scd_system):
+        accel = scd_system.accelerator
+        assert scd_system.total_peak_flops == pytest.approx(64 * accel.peak_flops)
+        assert scd_system.total_memory_capacity == pytest.approx(
+            64 * accel.memory_capacity_bytes
+        )
+
+    def test_total_memory_bandwidth_is_30tbps(self, scd_system):
+        assert scd_system.total_memory_bandwidth == pytest.approx(30e12, rel=0.01)
+
+    def test_with_n(self, scd_system):
+        assert scd_system.with_n(32).n_accelerators == 32
+        assert scd_system.n_accelerators == 64

@@ -1,0 +1,86 @@
+"""Communication-timing dispatch tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comm_perf import time_comm_kernel
+from repro.interconnect.collectives import (
+    CollectiveAlgorithm,
+    Fabric,
+    HierarchicalFabric,
+    all_reduce_time,
+)
+from repro.workloads.operators import (
+    CommKernel,
+    CommPattern,
+    all_reduce,
+    all_to_all,
+    point_to_point,
+)
+
+FLAT = Fabric(name="flat", alpha=1e-6, bandwidth=100e9)
+HIER = HierarchicalFabric(
+    intra=Fabric(
+        name="fast", alpha=1e-7, bandwidth=400e9,
+        algorithm=CollectiveAlgorithm.SWITCH_REDUCTION,
+    ),
+    inter=Fabric(name="slow", alpha=2e-6, bandwidth=50e9),
+    group_size=8,
+)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            CommPattern.ALL_REDUCE,
+            CommPattern.ALL_GATHER,
+            CommPattern.REDUCE_SCATTER,
+            CommPattern.ALL_TO_ALL,
+            CommPattern.POINT_TO_POINT,
+        ],
+    )
+    def test_every_pattern_times_on_both_fabrics(self, pattern):
+        kernel = CommKernel(name="k", pattern=pattern, n_bytes=1e6, participants=16)
+        assert time_comm_kernel(kernel, FLAT).time > 0
+        assert time_comm_kernel(kernel, HIER).time > 0
+
+    def test_flat_allreduce_matches_collective_model(self):
+        kernel = all_reduce("ar", 1e6, 16)
+        timing = time_comm_kernel(kernel, FLAT)
+        assert timing.time == pytest.approx(all_reduce_time(FLAT, 1e6, 16))
+
+    def test_overlap_reduces_exposed_time(self):
+        full = all_reduce("ar", 1e6, 16)
+        hidden = all_reduce("ar", 1e6, 16, overlap_fraction=0.75)
+        t_full = time_comm_kernel(full, FLAT)
+        t_hidden = time_comm_kernel(hidden, FLAT)
+        assert t_full.time == pytest.approx(t_hidden.time)
+        assert t_hidden.exposed_time == pytest.approx(0.25 * t_hidden.time)
+
+    def test_spans_groups_routes_to_inter(self):
+        local = all_reduce("dp", 1e6, 2)
+        spanning = all_reduce("dp", 1e6, 2, spans_groups=True)
+        assert (
+            time_comm_kernel(spanning, HIER).time
+            > time_comm_kernel(local, HIER).time
+        )
+
+    def test_spans_groups_ignored_on_flat_fabric(self):
+        local = all_reduce("dp", 1e6, 2)
+        spanning = all_reduce("dp", 1e6, 2, spans_groups=True)
+        assert time_comm_kernel(spanning, FLAT).time == pytest.approx(
+            time_comm_kernel(local, FLAT).time
+        )
+
+    def test_p2p_cross_group_detection(self):
+        small = point_to_point("p", 1e6)  # participants=2 <= group_size
+        timing = time_comm_kernel(small, HIER)
+        assert timing.time == pytest.approx(
+            HIER.point_to_point_time(1e6, cross_group=False)
+        )
+
+    def test_all_to_all_hierarchical(self):
+        kernel = all_to_all("a2a", 1e6, 64)
+        assert time_comm_kernel(kernel, HIER).time > 0

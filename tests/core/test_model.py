@@ -1,0 +1,121 @@
+"""Optimus end-to-end evaluator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Optimus
+from repro.parallel.mapper import map_inference, map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.units import TBPS
+from repro.workloads.llm import GPT3_76B, LLAMA_405B
+
+PAPER = ParallelConfig(tensor_parallel=8, pipeline_parallel=8, data_parallel=1)
+
+
+class TestTrainingEvaluation:
+    def test_breakdown_sums_to_total(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        parts = report.breakdown()
+        assert sum(parts.values()) == pytest.approx(report.time_per_batch, rel=1e-9)
+        assert all(v >= 0 for v in parts.values())
+
+    def test_achieved_below_sustained(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        accel = scd_system_16tbps.accelerator
+        assert report.achieved_flops_per_pu < accel.sustained_flops
+
+    def test_bigger_batch_more_tokens_per_second(self, scd_system_16tbps):
+        optimus = Optimus(scd_system_16tbps)
+        small = optimus.evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 16)
+        )
+        large = optimus.evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 128)
+        )
+        # More microbatches amortize the pipeline bubble.
+        assert large.tokens_per_second > small.tokens_per_second
+
+    def test_dp_variant_evaluates(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, ParallelConfig(8, 4, 2), 64)
+        )
+        assert report.time_per_batch > 0
+        assert report.comm_time > 0
+
+    def test_bandwidth_helps_training(self, scd_system):
+        slow = scd_system.with_dram_bandwidth(0.5 * TBPS)
+        fast = scd_system.with_dram_bandwidth(16 * TBPS)
+        t_slow = Optimus(slow).evaluate_training(
+            map_training(GPT3_76B, slow, PAPER, 32)
+        ).time_per_batch
+        t_fast = Optimus(fast).evaluate_training(
+            map_training(GPT3_76B, fast, PAPER, 32)
+        ).time_per_batch
+        assert t_fast < t_slow
+
+    def test_gemm_breakdown_populated(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        assert report.fw_gemm_breakdown.total > 0
+        assert 0 <= report.fw_gemm_breakdown.memory_fraction <= 1
+
+
+class TestInferenceEvaluation:
+    def test_latency_decomposition(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        )
+        assert report.latency == pytest.approx(
+            report.prefill_time + report.decode_time
+        )
+        assert report.decode_time > report.prefill_time  # 200-step decode
+
+    def test_decode_integration_accuracy(self, scd_system_16tbps):
+        """Sampled trapezoid integration matches the exact per-step sum."""
+        mapped = map_inference(
+            LLAMA_405B, scd_system_16tbps, batch=8, input_tokens=50, output_tokens=24
+        )
+        sampled = Optimus(scd_system_16tbps, decode_samples=5).evaluate_inference(mapped)
+        exact = Optimus(scd_system_16tbps, decode_samples=24).evaluate_inference(mapped)
+        assert sampled.decode_time == pytest.approx(exact.decode_time, rel=0.01)
+
+    def test_tokens_per_second(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        )
+        assert report.tokens_per_second == pytest.approx(
+            8 * 200 / report.latency
+        )
+        assert report.time_per_output_token == pytest.approx(
+            report.decode_time / 200
+        )
+
+    def test_more_output_tokens_longer_latency(self, scd_system_16tbps):
+        optimus = Optimus(scd_system_16tbps)
+        short = optimus.evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8, output_tokens=50)
+        )
+        long = optimus.evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8, output_tokens=200)
+        )
+        assert long.latency > short.latency
+
+    def test_inference_mostly_memory_bound(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        )
+        # "Inference is known to be a memory-bound workload" (Sec. VI).
+        assert report.memory_bound_kernel_time > report.compute_bound_kernel_time
+
+    def test_single_decode_step(self, scd_system_16tbps):
+        report = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8, output_tokens=1)
+        )
+        assert report.output_tokens == 1
+        assert report.decode_time > 0

@@ -1,0 +1,82 @@
+"""Report-dataclass tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import GEMMBreakdown, InferenceReport, TrainingReport
+
+
+def make_training(**overrides) -> TrainingReport:
+    defaults = dict(
+        system_name="sys",
+        model_name="m",
+        time_per_batch=2.0,
+        compute_time=1.0,
+        comm_time=0.5,
+        bubble_time=0.3,
+        update_time=0.2,
+        flops_per_batch=1e18,
+        n_accelerators=64,
+        fw_gemm_breakdown=GEMMBreakdown(0.25e-3, 0.75e-3),
+        memory_bound_kernel_time=0.4,
+        compute_bound_kernel_time=0.6,
+    )
+    defaults.update(overrides)
+    return TrainingReport(**defaults)
+
+
+class TestGEMMBreakdown:
+    def test_total_and_fraction(self):
+        breakdown = GEMMBreakdown(0.25, 0.75)
+        assert breakdown.total == 1.0
+        assert breakdown.memory_fraction == 0.25
+
+    def test_zero_total(self):
+        assert GEMMBreakdown(0.0, 0.0).memory_fraction == 0.0
+
+
+class TestTrainingReport:
+    def test_others_is_bubble_plus_update(self):
+        report = make_training()
+        assert report.others_time == pytest.approx(0.5)
+
+    def test_breakdown_sums(self):
+        report = make_training()
+        assert sum(report.breakdown().values()) == pytest.approx(2.0)
+
+    def test_achieved_flops(self):
+        report = make_training()
+        assert report.achieved_flops_per_pu == pytest.approx(1e18 / (2.0 * 64))
+
+    def test_tokens_per_second(self):
+        report = make_training(tokens_processed=131072.0)
+        assert report.tokens_per_second == pytest.approx(65536.0)
+        assert make_training().tokens_per_second == 0.0
+
+
+class TestInferenceReport:
+    def make(self) -> InferenceReport:
+        return InferenceReport(
+            system_name="sys",
+            model_name="m",
+            latency=1.0,
+            prefill_time=0.2,
+            decode_time=0.8,
+            comm_time=0.1,
+            flops_total=6.4e16,
+            n_accelerators=64,
+            batch=8,
+            input_tokens=200,
+            output_tokens=200,
+            kv_cache_bytes=1e11,
+            fits_memory=True,
+            memory_bound_kernel_time=0.7,
+            compute_bound_kernel_time=0.2,
+        )
+
+    def test_throughputs(self):
+        report = self.make()
+        assert report.tokens_per_second == pytest.approx(1600.0)
+        assert report.time_per_output_token == pytest.approx(0.004)
+        assert report.achieved_flops_per_pu == pytest.approx(1e15)

@@ -1,0 +1,101 @@
+"""Hierarchical-roofline tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.roofline import Boundedness, time_compute_kernel
+from repro.units import TBPS
+from repro.workloads.operators import gemm, softmax
+
+
+class TestClassification:
+    def test_fat_gemm_compute_bound(self, scd_system_16tbps):
+        kernel = gemm("fat", 4096, 4096, 4096)
+        timing = time_compute_kernel(kernel, scd_system_16tbps.accelerator)
+        assert timing.bound is Boundedness.COMPUTE
+
+    def test_thin_gemv_memory_bound(self, scd_system_16tbps):
+        kernel = gemm("thin", 8, 4096, 4096).with_residency(1e9)
+        timing = time_compute_kernel(kernel, scd_system_16tbps.accelerator)
+        assert timing.bound is Boundedness.MEMORY
+        assert timing.level_name == "DRAM"
+
+    def test_softmax_memory_bound_everywhere(self, scd_system_16tbps, gpu_system):
+        kernel = softmax("sm", 1e8)
+        for system in (scd_system_16tbps, gpu_system):
+            timing = time_compute_kernel(kernel, system.accelerator)
+            assert timing.bound is Boundedness.MEMORY
+
+    def test_small_working_set_served_from_l1(self, scd_system_16tbps):
+        kernel = gemm("small", 64, 64, 64)
+        timing = time_compute_kernel(kernel, scd_system_16tbps.accelerator)
+        assert timing.level_name == "L1"
+
+    def test_residency_forces_dram(self, scd_system_16tbps):
+        free = gemm("k", 64, 64, 64)
+        pinned = free.with_residency(1e12)
+        accel = scd_system_16tbps.accelerator
+        assert time_compute_kernel(free, accel).level_name == "L1"
+        assert time_compute_kernel(pinned, accel).level_name == "DRAM"
+
+    def test_attention_ai_crossover_band(self, scd_system):
+        """The s=2048 attention GEMM (AI≈114) crosses from memory- to
+        compute-bound in the 16-64 TBps band — the paper's Fig. 5 knee."""
+        kernel = gemm(
+            "score", 2048, 2048, 128, batch=10, weight_operand=False
+        ).with_residency(1e9)
+        low = scd_system.with_dram_bandwidth(4 * TBPS).accelerator
+        high = scd_system.with_dram_bandwidth(64 * TBPS).accelerator
+        assert time_compute_kernel(kernel, low).bound is Boundedness.MEMORY
+        t_high = time_compute_kernel(kernel, high)
+        # At 64 TBps nominal (≈11 TBps effective) it is near the crossover.
+        assert t_high.memory_time < 2.5 * t_high.compute_time
+
+
+class TestTimingLaws:
+    @given(st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=20, deadline=None)
+    def test_time_is_max_plus_overhead(self, m):
+        from repro.arch.gpu import h100_accelerator
+
+        accel = h100_accelerator()
+        kernel = gemm("g", m, 512, 512)
+        timing = time_compute_kernel(kernel, accel)
+        assert timing.time == pytest.approx(
+            max(timing.compute_time, timing.memory_time) + accel.kernel_overhead
+        )
+
+    @given(st.floats(min_value=1e12, max_value=64e12))
+    @settings(max_examples=20, deadline=None)
+    def test_memory_time_non_increasing_in_bandwidth(self, bandwidth):
+        from repro.arch.blade import build_blade
+
+        system = build_blade().system()
+        kernel = gemm("k", 8, 4096, 4096).with_residency(1e12)
+        slow = time_compute_kernel(
+            kernel, system.with_dram_bandwidth(bandwidth).accelerator
+        )
+        fast = time_compute_kernel(
+            kernel, system.with_dram_bandwidth(bandwidth * 2).accelerator
+        )
+        assert fast.memory_time <= slow.memory_time
+
+    def test_zero_flop_kernel(self, scd_system_16tbps):
+        from repro.workloads.operators import embedding_lookup
+
+        kernel = embedding_lookup("emb", 100, 4096)
+        timing = time_compute_kernel(kernel, scd_system_16tbps.accelerator)
+        assert timing.compute_time == 0.0
+        assert timing.bound is Boundedness.MEMORY
+
+    def test_stream_efficiency_applied(self, gpu_system):
+        """GPU thin kernels see derated HBM bandwidth (low-AI regime)."""
+        accel = gpu_system.accelerator
+        thin = gemm("thin", 8, 4096, 4096).with_residency(1e12)
+        timing = time_compute_kernel(thin, accel)
+        dram = accel.hierarchy["DRAM"]
+        nominal_time = dram.latency + thin.bytes_total / dram.effective_bandwidth
+        assert timing.memory_time > 1.5 * nominal_time

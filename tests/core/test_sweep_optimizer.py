@@ -1,0 +1,83 @@
+"""Sweep-utility and strategy-optimizer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import search_strategies
+from repro.core.report import InferenceReport, TrainingReport
+from repro.core.sweep import (
+    sweep_batch_size,
+    sweep_dram_bandwidth,
+    sweep_dram_latency,
+)
+from repro.errors import MappingError
+from repro.parallel.strategy import ParallelConfig
+from repro.units import TBPS
+from repro.workloads.llm import GPT3_76B, LLAMA_405B
+
+PAPER = ParallelConfig(8, 8, 1)
+
+
+class TestSweeps:
+    def test_bandwidth_sweep_training(self, scd_system):
+        points = sweep_dram_bandwidth(
+            GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
+        )
+        assert len(points) == 2
+        assert all(isinstance(p.report, TrainingReport) for p in points)
+        assert points[1].report.time_per_batch < points[0].report.time_per_batch
+
+    def test_bandwidth_sweep_inference(self, scd_system):
+        points = sweep_dram_bandwidth(
+            LLAMA_405B, scd_system, [1 * TBPS, 8 * TBPS], "inference", None, 8,
+            output_tokens=20,
+        )
+        assert all(isinstance(p.report, InferenceReport) for p in points)
+        assert points[1].report.latency < points[0].report.latency
+
+    def test_latency_sweep(self, scd_system_16tbps):
+        points = sweep_dram_latency(
+            LLAMA_405B, scd_system_16tbps, [10e-9, 200e-9], batch=8,
+            output_tokens=20,
+        )
+        assert points[1].report.latency > points[0].report.latency
+
+    def test_batch_sweep(self, scd_system_16tbps):
+        points = sweep_batch_size(
+            LLAMA_405B, scd_system_16tbps, [4, 16], output_tokens=20
+        )
+        assert points[1].report.latency > points[0].report.latency
+        assert (
+            points[1].report.achieved_flops_per_pu
+            > points[0].report.achieved_flops_per_pu
+        )
+
+    def test_sweep_rejects_bad_bandwidth(self, scd_system):
+        with pytest.raises(Exception):
+            sweep_dram_bandwidth(GPT3_76B, scd_system, [0.0], "training", PAPER, 32)
+
+
+class TestOptimizer:
+    def test_results_sorted(self, scd_system_16tbps):
+        results = search_strategies(GPT3_76B, scd_system_16tbps, 64, max_candidates=12)
+        times = [r.time_per_batch for r in results]
+        assert times == sorted(times)
+
+    def test_require_fit_filters(self, gpu_system):
+        from repro.workloads.llm import GPT3_175B
+
+        all_results = search_strategies(GPT3_175B, gpu_system, 64, max_candidates=16)
+        fitting = search_strategies(
+            GPT3_175B, gpu_system, 64, max_candidates=16, require_fit=True
+        )
+        assert len(fitting) <= len(all_results)
+        assert all(r.report.fits_memory for r in fitting)
+
+    def test_no_strategy_raises(self, scd_system_16tbps):
+        # 7 accelerators, 3 layers, batch 13: TP=7 fails the 80-head split,
+        # PP=7 exceeds the depth, DP=7 fails the batch split.
+        small = scd_system_16tbps.with_n(7)
+        shallow = GPT3_76B.with_layers(3)
+        with pytest.raises(MappingError):
+            search_strategies(shallow, small, 13, max_candidates=8)

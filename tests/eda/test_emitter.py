@@ -1,0 +1,131 @@
+"""GateEmitter property tests: the datapath generators behind synthesis.
+
+Each property builds a small netlist with the emitter, simulates it, and
+checks the arithmetic identity the generator must preserve.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eda.synthesis import GateEmitter, _library_with_constants
+from repro.pcl.netlist import NetlistBuilder
+from repro.pcl.simulate import simulate_bus
+
+u8 = st.integers(min_value=0, max_value=255)
+u6 = st.integers(min_value=0, max_value=63)
+
+
+def make_emitter(name: str):
+    builder = NetlistBuilder(name)
+    builder.library = _library_with_constants(builder.library)
+    return builder, GateEmitter(builder)
+
+
+def finish_and_run(builder, emit, out_bits, buses, widths):
+    builder.output_bus("out", [emit.materialize(bit) for bit in out_bits])
+    netlist = builder.build()
+    return simulate_bus(netlist, buses, widths)["out"]
+
+
+class TestCarrySave:
+    @given(u8, u8)
+    @settings(max_examples=15, deadline=None)
+    def test_multiply_carry_save_rows_sum_to_product(self, a, b):
+        builder, emit = make_emitter("csmul")
+        a_bits = builder.input_bus("a", 8)
+        b_bits = builder.input_bus("b", 8)
+        row_s, row_c = emit.multiply_carry_save(a_bits, b_bits)
+        total, _ = emit.ripple_add(row_s, row_c)
+        out = finish_and_run(
+            builder, emit, total, {"a": a, "b": b}, {"a": 8, "b": 8}
+        )
+        assert out % 65536 == a * b
+
+    @given(st.lists(u6, min_size=3, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_carry_save_reduce_preserves_sum(self, values):
+        width = 10
+        builder, emit = make_emitter("csr")
+        rows = []
+        buses = {}
+        widths = {}
+        for k, value in enumerate(values):
+            bits = builder.input_bus(f"x{k}", 6)
+            rows.append(list(bits))
+            buses[f"x{k}"] = value
+            widths[f"x{k}"] = 6
+        while len(rows) > 2:
+            rows = emit.carry_save_reduce(rows, width)
+        padded = [(row + [False] * width)[:width] for row in rows]
+        total, _ = emit.ripple_add(padded[0], padded[1])
+        out = finish_and_run(builder, emit, total, buses, widths)
+        assert out == sum(values) % (1 << width)
+
+
+class TestComparatorsAndFolding:
+    @given(u8, u8, st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_full_add_with_constant_carry(self, a, b, carry):
+        builder, emit = make_emitter("fac")
+        a_bits = builder.input_bus("a", 8)
+        b_bits = builder.input_bus("b", 8)
+        total, cout = emit.ripple_add(a_bits, b_bits, carry_in=carry)
+        out = finish_and_run(
+            builder, emit, total + [cout], {"a": a, "b": b}, {"a": 8, "b": 8}
+        )
+        assert out == a + b + int(carry)
+
+    @given(u8, u8)
+    @settings(max_examples=15, deadline=None)
+    def test_subtract_not_borrow(self, a, b):
+        builder, emit = make_emitter("subnb")
+        a_bits = builder.input_bus("a", 8)
+        b_bits = builder.input_bus("b", 8)
+        diff, not_borrow = emit.subtract(a_bits, b_bits)
+        out = finish_and_run(
+            builder, emit, diff + [not_borrow], {"a": a, "b": b}, {"a": 8, "b": 8}
+        )
+        assert out & 0xFF == (a - b) % 256
+        assert (out >> 8) == int(a >= b)
+
+    def test_pure_constant_full_add(self):
+        _, emit = make_emitter("cfa")
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    s, carry = emit.full_add(a, b, c)
+                    assert int(s) + 2 * int(carry) == int(a) + int(b) + int(c)
+
+    def test_reduce_tree_empty_rejected(self):
+        from repro.errors import SynthesisError
+
+        _, emit = make_emitter("empty")
+        with pytest.raises(SynthesisError):
+            emit.reduce_tree([], "or")
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_tree_constants(self, bits):
+        _, emit = make_emitter("red")
+        assert emit.reduce_tree(list(bits), "or") == any(bits)
+        assert emit.reduce_tree(list(bits), "and") == all(bits)
+        xor_expected = bool(sum(bits) % 2)
+        assert emit.reduce_tree(list(bits), "xor") == xor_expected
+
+
+class TestBarrelShift:
+    @given(u8, st.integers(min_value=0, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_shift_beyond_width_zeroes(self, a, amount):
+        builder, emit = make_emitter("bigshift")
+        a_bits = builder.input_bus("a", 8)
+        amt_bits = builder.input_bus("amt", 4)  # up to 15 > width 8
+        shifted = emit.barrel_shift(a_bits, amt_bits, left=True)
+        out = finish_and_run(
+            builder, emit, shifted,
+            {"a": a, "amt": amount}, {"a": 8, "amt": 4},
+        )
+        assert out == (a << amount) % 256

@@ -1,0 +1,170 @@
+"""Collective-model tests: α–β laws, algorithm orderings, hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.collectives import (
+    CollectiveAlgorithm,
+    Fabric,
+    HierarchicalFabric,
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    point_to_point_time,
+    reduce_scatter_time,
+)
+
+RING = Fabric(name="ring", alpha=1e-6, bandwidth=50e9, algorithm=CollectiveAlgorithm.RING)
+TREE = Fabric(name="tree", alpha=1e-6, bandwidth=50e9, algorithm=CollectiveAlgorithm.TREE)
+SWITCH = Fabric(
+    name="switch", alpha=1e-6, bandwidth=50e9,
+    algorithm=CollectiveAlgorithm.SWITCH_REDUCTION,
+)
+TORUS = Fabric(
+    name="torus", alpha=2e-9, bandwidth=18e12,
+    algorithm=CollectiveAlgorithm.TORUS_2D, torus_shape=(8, 8),
+)
+
+sizes = st.floats(min_value=1e3, max_value=1e10)
+parts = st.integers(min_value=2, max_value=512)
+
+
+class TestBasicLaws:
+    @pytest.mark.parametrize("fabric", [RING, TREE, SWITCH, TORUS])
+    def test_single_participant_is_free(self, fabric):
+        assert all_reduce_time(fabric, 1e9, 1) == 0.0
+
+    @pytest.mark.parametrize("fabric", [RING, TREE, SWITCH, TORUS])
+    def test_zero_bytes_is_free(self, fabric):
+        assert all_reduce_time(fabric, 0.0, 64) == 0.0
+
+    @given(sizes, parts)
+    @settings(max_examples=30, deadline=None)
+    def test_ring_allreduce_formula(self, n, p):
+        expected = 2 * (p - 1) * RING.alpha + 2 * (p - 1) / p * n / RING.bandwidth
+        assert all_reduce_time(RING, n, p) == pytest.approx(expected)
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_monotone_in_bytes(self, n):
+        for fabric in (RING, TREE, SWITCH, TORUS):
+            assert all_reduce_time(fabric, 2 * n, 64) > all_reduce_time(fabric, n, 64)
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_at_least_volume_bound(self, n):
+        """No algorithm beats the bandwidth lower bound 2(p-1)/p · n/bw."""
+        p = 64
+        for fabric in (RING, TORUS):
+            lower = 2 * (p - 1) / p * n / fabric.bandwidth
+            assert all_reduce_time(fabric, n, p) >= lower * 0.999
+
+
+class TestAlgorithmRegimes:
+    def test_small_message_tree_beats_ring(self):
+        assert all_reduce_time(TREE, 1e3, 256) < all_reduce_time(RING, 1e3, 256)
+
+    def test_large_message_ring_beats_tree(self):
+        assert all_reduce_time(RING, 1e9, 64) < all_reduce_time(TREE, 1e9, 64)
+
+    def test_switch_reduction_best_volume_term(self):
+        # In-network reduction sends each buffer once.
+        big = 1e9
+        assert all_reduce_time(SWITCH, big, 64) < all_reduce_time(RING, big, 64)
+
+    def test_torus_latency_term_matches_blade_reduction(self):
+        # 2*((8-1)+(8-1)) steps at alpha: the Fig. 3c 60 ns target.
+        torus = Fabric(
+            name="blade", alpha=60e-9 / 28, bandwidth=18e12,
+            algorithm=CollectiveAlgorithm.TORUS_2D, torus_shape=(8, 8),
+        )
+        tiny = all_reduce_time(torus, 1.0, 64)
+        assert tiny == pytest.approx(60e-9, rel=0.01)
+
+    def test_torus_shape_too_small_rejected(self):
+        bad = Fabric(
+            name="bad", alpha=1e-9, bandwidth=1e12,
+            algorithm=CollectiveAlgorithm.TORUS_2D, torus_shape=(2, 2),
+        )
+        with pytest.raises(ValueError):
+            all_reduce_time(bad, 1e6, 64)
+
+
+class TestOtherCollectives:
+    @given(sizes, parts)
+    @settings(max_examples=20, deadline=None)
+    def test_gather_scatter_cheaper_than_allreduce(self, n, p):
+        assert reduce_scatter_time(RING, n, p) < all_reduce_time(RING, n, p)
+        assert all_gather_time(RING, n, p) < all_reduce_time(RING, n, p)
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_rs_plus_ag_equals_ring_allreduce(self, n):
+        p = 64
+        combined = reduce_scatter_time(RING, n, p) + all_gather_time(RING, n, p)
+        assert combined == pytest.approx(all_reduce_time(RING, n, p))
+
+    @given(sizes, parts)
+    @settings(max_examples=20, deadline=None)
+    def test_all_to_all_volume(self, n, p):
+        expected = (p - 1) * RING.alpha + n * (p - 1) / p / RING.bandwidth
+        assert all_to_all_time(RING, n, p) == pytest.approx(expected)
+
+    def test_point_to_point(self):
+        assert point_to_point_time(RING, 1e6) == pytest.approx(
+            RING.alpha + 1e6 / RING.bandwidth
+        )
+        assert point_to_point_time(RING, 1e6, hops=3) == pytest.approx(
+            3 * RING.alpha + 1e6 / RING.bandwidth
+        )
+
+
+class TestHierarchicalFabric:
+    def make(self):
+        fast_intra = Fabric(
+            name="nvlink", alpha=1e-6, bandwidth=450e9,
+            algorithm=CollectiveAlgorithm.SWITCH_REDUCTION,
+        )
+        return HierarchicalFabric(intra=fast_intra, inter=RING, group_size=8)
+
+    def test_within_group_uses_intra_only(self):
+        fabric = self.make()
+        assert fabric.all_reduce_time(1e6, 8) == pytest.approx(
+            all_reduce_time(fabric.intra, 1e6, 8)
+        )
+
+    def test_cross_group_decomposition(self):
+        fabric = self.make()
+        n = 1e6
+        expected = (
+            reduce_scatter_time(fabric.intra, n, 8)
+            + all_reduce_time(RING, n / 8, 8)
+            + all_gather_time(fabric.intra, n, 8)
+        )
+        assert fabric.all_reduce_time(n, 64) == pytest.approx(expected)
+
+    def test_groups(self):
+        assert self.make().groups(64) == 8
+        assert self.make().groups(9) == 2
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_hierarchical_monotone_in_bytes(self, n):
+        fabric = self.make()
+        assert fabric.all_reduce_time(2 * n, 64) > fabric.all_reduce_time(n, 64)
+
+    def test_point_to_point_routes(self):
+        fabric = self.make()
+        cross = fabric.point_to_point_time(1e6, cross_group=True)
+        local = fabric.point_to_point_time(1e6, cross_group=False)
+        assert cross > local  # IB slower than NVLink
+
+    def test_all_gather_cross_group(self):
+        fabric = self.make()
+        assert fabric.all_gather_time(1e6, 64) > fabric.all_gather_time(1e6, 8)
+
+    def test_all_to_all_cross_group_positive(self):
+        assert self.make().all_to_all_time(1e6, 64) > 0

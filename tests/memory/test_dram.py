@@ -1,0 +1,42 @@
+"""Cryo-DRAM model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.dram import CryoDRAMBlock, CryoDRAMPackage
+
+
+class TestPackage:
+    def test_baseline(self):
+        pkg = CryoDRAMPackage()
+        assert pkg.capacity_bytes == 32e9
+        assert pkg.access_latency == pytest.approx(30e-9)
+
+    def test_refresh_nearly_free_at_77k(self):
+        # Retention grows by orders of magnitude at 77 K.
+        assert CryoDRAMPackage().refresh_power_factor < 1e-3
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            CryoDRAMPackage(bandwidth=0)
+
+
+class TestBlock:
+    def test_baseline_is_2tb(self):
+        block = CryoDRAMBlock()
+        assert block.n_packages == 64  # 8x8 quad-die packages (Sec. IV-C)
+        assert block.capacity_bytes == pytest.approx(2.048e12)
+
+    def test_internal_bandwidth_exceeds_datalink(self):
+        # The delivered 30 TBps is datalink-limited, so the packages must
+        # collectively provide at least that.
+        assert CryoDRAMBlock().internal_bandwidth >= 30e12
+
+    def test_access_latency_passthrough(self):
+        assert CryoDRAMBlock().access_latency == pytest.approx(30e-9)
+
+    def test_scaling(self):
+        small = CryoDRAMBlock(rows=4, columns=4)
+        assert small.capacity_bytes == pytest.approx(0.512e12)

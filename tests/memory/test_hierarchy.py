@@ -1,0 +1,159 @@
+"""Memory-hierarchy tests: level selection + the effective-bandwidth model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.memory.cache import CacheSpec, l1_from_dies, l2_slice_spec
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel
+from repro.units import KIB, MB, NS, TBPS
+
+
+def dram_level(bandwidth=16 * TBPS, latency=30 * NS, outstanding=512 * KIB):
+    return MemoryLevel(
+        name="DRAM",
+        capacity_bytes=32e9,
+        bandwidth=bandwidth,
+        latency=latency,
+        outstanding_bytes=outstanding,
+    )
+
+
+def l1_level():
+    return MemoryLevel(
+        name="L1",
+        capacity_bytes=24 * MB,
+        bandwidth=245 * TBPS,
+        latency=0.13e-9,
+        outstanding_bytes=None,
+    )
+
+
+class TestEffectiveBandwidth:
+    def test_formula(self):
+        level = dram_level()
+        expected = 1.0 / (1.0 / (16 * TBPS) + 30e-9 / (512 * KIB))
+        assert level.effective_bandwidth == pytest.approx(expected)
+
+    def test_no_limit_means_nominal(self):
+        level = dram_level(outstanding=None)
+        assert level.effective_bandwidth == 16 * TBPS
+
+    def test_zero_latency_means_nominal(self):
+        level = dram_level(latency=0.0)
+        assert level.effective_bandwidth == 16 * TBPS
+
+    def test_bdp_ceiling(self):
+        # Effective BW can never exceed outstanding/latency.
+        ceiling = 512 * KIB / 30e-9
+        assert dram_level(bandwidth=1e18).effective_bandwidth < ceiling
+
+    @given(st.floats(min_value=0.1e12, max_value=100e12))
+    def test_monotone_in_nominal_bandwidth(self, bandwidth):
+        low = dram_level(bandwidth=bandwidth)
+        high = dram_level(bandwidth=bandwidth * 2)
+        assert high.effective_bandwidth > low.effective_bandwidth
+
+    @given(st.floats(min_value=1e-9, max_value=1e-6))
+    def test_monotone_in_latency(self, latency):
+        fast = dram_level(latency=latency)
+        slow = dram_level(latency=latency * 2)
+        assert slow.effective_bandwidth < fast.effective_bandwidth
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e12),
+        st.floats(min_value=1e-9, max_value=1e-6),
+    )
+    def test_transfer_time_linear_plus_latency(self, n_bytes, latency):
+        level = dram_level(latency=latency)
+        time = level.transfer_time(n_bytes)
+        assert time == pytest.approx(latency + n_bytes / level.effective_bandwidth)
+
+    def test_zero_bytes_is_free(self):
+        assert dram_level().transfer_time(0.0) == 0.0
+
+    def test_sweep_helpers(self):
+        level = dram_level()
+        assert level.with_bandwidth(1e12).bandwidth == 1e12
+        assert level.with_latency(1e-9).latency == 1e-9
+        assert level.with_bandwidth(1e12).name == level.name
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy.of(l1_level(), dram_level())
+
+    def test_serving_level_by_working_set(self):
+        h = self.make()
+        assert h.serving_level(1 * MB).name == "L1"
+        assert h.serving_level(100 * MB).name == "DRAM"
+
+    def test_oversized_working_set_falls_to_last(self):
+        h = self.make()
+        assert h.serving_level(1e15).name == "DRAM"
+
+    @given(st.floats(min_value=1, max_value=1e13))
+    def test_serving_level_monotone(self, working_set):
+        """Larger working sets never move to a nearer level."""
+        h = self.make()
+        index = {name: i for i, name in enumerate(h.names)}
+        small = index[h.serving_level(working_set).name]
+        large = index[h.serving_level(working_set * 2).name]
+        assert large >= small
+
+    def test_transfer_time_picks_level(self):
+        h = self.make()
+        fast = h.transfer_time(1 * MB)
+        slow = h.transfer_time(1 * MB, working_set_bytes=1e9)
+        assert slow > fast
+
+    def test_replace_level(self):
+        h = self.make().with_level_bandwidth("DRAM", 1e12)
+        assert h["DRAM"].bandwidth == 1e12
+        assert h["L1"].bandwidth == l1_level().bandwidth
+
+    def test_replace_unknown_level(self):
+        with pytest.raises(KeyError):
+            self.make().with_level_bandwidth("L9", 1e12)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryHierarchy.of(l1_level(), l1_level())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryHierarchy(levels=())
+
+    def test_check_fits(self):
+        h = self.make()
+        h.check_fits("L1", 1 * MB)
+        with pytest.raises(CapacityError):
+            h.check_fits("L1", 100 * MB, what="weights")
+
+    def test_iteration_and_names(self):
+        h = self.make()
+        assert h.names == ("L1", "DRAM")
+        assert [lvl.name for lvl in h] == ["L1", "DRAM"]
+        assert h.last.name == "DRAM"
+
+
+class TestCacheSpecs:
+    def test_l1_from_dies_baseline(self):
+        spec = l1_from_dies()
+        assert spec.capacity_bytes == pytest.approx(24e6, rel=0.01)
+        assert spec.bandwidth > 100 * TBPS  # never the bottleneck
+        assert not spec.shared
+
+    def test_l2_slice_spec(self):
+        spec = l2_slice_spec(3.375e9, 64, 18e12)
+        assert spec.shared
+        assert spec.capacity_bytes == 3.375e9
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(ConfigError):
+            CacheSpec(name="bad", capacity_bytes=0, bandwidth=1, latency=1)

@@ -1,0 +1,89 @@
+"""JSRAM model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.jsram import HD_1R1W, HP_2R1W, HP_3R2W, JSRAMDie, JSRAMMacro
+from repro.units import MM2, UM2
+
+
+class TestCells:
+    def test_paper_jj_counts(self):
+        # Sec. III: 8 JJ (1R/1W), 14 JJ (2R/1W), 29 JJ (3R/2W).
+        assert HD_1R1W.jj_count == 8
+        assert HP_2R1W.jj_count == 14
+        assert HP_3R2W.jj_count == 29
+
+    def test_hd_cell_area(self):
+        assert HD_1R1W.area == pytest.approx(1.86 * UM2)
+
+    def test_port_configuration(self):
+        assert (HD_1R1W.read_ports, HD_1R1W.write_ports) == (1, 1)
+        assert (HP_2R1W.read_ports, HP_2R1W.write_ports) == (2, 1)
+        assert (HP_3R2W.read_ports, HP_3R2W.write_ports) == (3, 2)
+
+    def test_hp_cells_cost_area(self):
+        assert HP_3R2W.area > HP_2R1W.area > HD_1R1W.area
+
+
+class TestMacro:
+    def test_density_includes_periphery(self):
+        macro = JSRAMMacro(capacity_bytes=1e6)
+        raw = HD_1R1W.bit_density * MM2
+        assert macro.density_bits_per_mm2 < raw
+        assert macro.density_bits_per_mm2 == pytest.approx(raw * 0.75)
+
+    def test_bandwidth_scales_with_banks(self):
+        one = JSRAMMacro(banks=1)
+        many = JSRAMMacro(banks=16)
+        assert many.read_bandwidth == pytest.approx(16 * one.read_bandwidth)
+
+    def test_hp_read_bandwidth_advantage(self):
+        hd = JSRAMMacro(cell=HD_1R1W)
+        hp = JSRAMMacro(cell=HP_2R1W)
+        assert hp.read_bandwidth == pytest.approx(2 * hd.read_bandwidth)
+
+    def test_jj_count(self):
+        macro = JSRAMMacro(capacity_bytes=1e6)
+        assert macro.jj_count == pytest.approx(8e6 * 8)
+
+    def test_access_latency(self):
+        macro = JSRAMMacro()
+        assert macro.access_latency() == pytest.approx(4 / 30e9)
+
+    def test_with_capacity(self):
+        macro = JSRAMMacro().with_capacity(2e6)
+        assert macro.capacity_bytes == 2e6
+
+    @given(st.floats(min_value=1e3, max_value=1e9))
+    def test_area_linear_in_capacity(self, capacity):
+        base = JSRAMMacro(capacity_bytes=1e6)
+        scaled = base.with_capacity(capacity)
+        assert scaled.area / base.area == pytest.approx(capacity / 1e6)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            JSRAMMacro(array_efficiency=1.5)
+
+
+class TestDie:
+    def test_baseline_capacity(self):
+        die = JSRAMDie()
+        # 144 mm² x 0.4 Mbit/mm² = 7.2 MB raw, ~6 MB usable.
+        assert die.raw_capacity_bytes == pytest.approx(7.2e6)
+        assert die.capacity_bytes == pytest.approx(6e6, rel=0.01)
+
+    def test_dies_for_24mb_l1(self):
+        assert JSRAMDie().dies_for_capacity(24e6) == 4  # Fig. 3c
+
+    def test_dies_for_capacity_rounds_up(self):
+        die = JSRAMDie()
+        assert die.dies_for_capacity(die.capacity_bytes + 1) == 2
+
+    def test_jj_count(self):
+        die = JSRAMDie()
+        assert die.jj_count == pytest.approx(144 * 0.4e6 * 8)

@@ -1,0 +1,87 @@
+"""1F1B pipeline-schedule tests: simulator vs closed form, bubble laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.parallel.pipeline import PipelineTiming, analytic_1f1b, simulate_1f1b
+
+times = st.floats(min_value=1e-5, max_value=1e-2)
+
+
+class TestAgainstClosedForm:
+    @given(times, times, st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_stages_match_formula(self, f, b, p, m):
+        result = simulate_1f1b([f] * p, [b] * p, m, p2p_time=0.0)
+        assert result.total_time == pytest.approx(
+            analytic_1f1b(f, b, p, m, 0.0), rel=1e-9
+        )
+
+    def test_single_stage_no_bubble(self):
+        result = simulate_1f1b([1e-3], [2e-3], 16)
+        assert result.total_time == pytest.approx(16 * 3e-3)
+        assert result.bubble_time == pytest.approx(0.0, abs=1e-12)
+
+    def test_paper_bubble_fraction(self):
+        # Bubble fraction = (p-1)/(m+p-1) for uniform 1F1B.
+        p, m = 8, 64
+        result = simulate_1f1b([1e-3] * p, [2e-3] * p, m)
+        assert result.bubble_fraction == pytest.approx((p - 1) / (m + p - 1))
+
+
+class TestProperties:
+    @given(times, times, st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_total_at_least_busy(self, f, b, p, m):
+        result = simulate_1f1b([f] * p, [b] * p, m)
+        assert result.total_time >= max(result.stage_busy_times) - 1e-15
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_more_microbatches_amortize_bubble(self, p):
+        few = simulate_1f1b([1e-3] * p, [2e-3] * p, 4)
+        many = simulate_1f1b([1e-3] * p, [2e-3] * p, 64)
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_bottleneck_stage_dominates(self):
+        slow = [1e-3, 5e-3, 1e-3, 1e-3]
+        result = simulate_1f1b(slow, [t * 2 for t in slow], 32)
+        # Total approaches m x bottleneck (fwd+bwd) as m grows.
+        assert result.total_time >= 32 * (5e-3 + 10e-3)
+
+    def test_p2p_adds_latency(self):
+        without = simulate_1f1b([1e-3] * 4, [2e-3] * 4, 8, p2p_time=0.0)
+        with_p2p = simulate_1f1b([1e-3] * 4, [2e-3] * 4, 8, p2p_time=1e-4)
+        assert with_p2p.total_time > without.total_time
+
+    def test_non_uniform_stages_supported(self):
+        # Uneven 60-layer split: stage times differ; simulator must not
+        # deadlock and must respect dependencies.
+        fwd = [8e-4, 8e-4, 7e-4, 7e-4]
+        bwd = [1.6e-3, 1.6e-3, 1.4e-3, 1.4e-3]
+        result = simulate_1f1b(fwd, bwd, 16)
+        assert result.total_time > 16 * (8e-4 + 1.6e-3)
+
+    def test_m_less_than_p(self):
+        result = simulate_1f1b([1e-3] * 8, [2e-3] * 8, 2)
+        assert result.total_time > 0
+        assert result.n_microbatches == 2
+
+
+class TestValidation:
+    def test_empty_stages_rejected(self):
+        with pytest.raises(MappingError):
+            simulate_1f1b([], [], 4)
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(MappingError):
+            simulate_1f1b([1e-3], [1e-3, 2e-3], 4)
+
+    def test_timing_dataclass(self):
+        result = simulate_1f1b([1e-3] * 2, [2e-3] * 2, 4)
+        assert isinstance(result, PipelineTiming)
+        assert result.n_stages == 2

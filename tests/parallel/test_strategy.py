@@ -1,0 +1,73 @@
+"""ParallelConfig tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.parallel.strategy import ParallelConfig, enumerate_strategies
+from repro.workloads.llm import GPT3_76B
+
+
+class TestValidation:
+    def test_world_size(self):
+        assert ParallelConfig(8, 8, 1).world_size == 64
+
+    def test_valid_paper_config(self):
+        ParallelConfig(8, 8, 1).validate(GPT3_76B, 64, 64)
+
+    def test_world_size_mismatch(self):
+        with pytest.raises(MappingError, match="does not match"):
+            ParallelConfig(8, 4, 1).validate(GPT3_76B, 64, 64)
+
+    def test_heads_divisibility(self):
+        with pytest.raises(MappingError, match="heads"):
+            ParallelConfig(3, 1, 1).validate(GPT3_76B, 3, 12)
+
+    def test_pp_bounded_by_layers(self):
+        with pytest.raises(MappingError, match="exceeds"):
+            ParallelConfig(1, 64, 1).validate(GPT3_76B.with_layers(32), 64, 64)
+
+    def test_batch_divisible_by_dp(self):
+        with pytest.raises(MappingError, match="batch"):
+            ParallelConfig(8, 1, 8).validate(GPT3_76B, 64, 63)
+
+    def test_microbatch_divides_per_replica_batch(self):
+        with pytest.raises(MappingError, match="microbatch"):
+            ParallelConfig(8, 8, 1, microbatch_size=3).validate(GPT3_76B, 64, 64)
+
+
+class TestLayerDistribution:
+    def test_even_split(self):
+        assert ParallelConfig(1, 8, 1).layers_per_stage(96) == [12] * 8
+
+    def test_uneven_split_front_loaded(self):
+        # 60 layers over 8 stages: 4 stages of 8, 4 of 7.
+        counts = ParallelConfig(1, 8, 1).layers_per_stage(60)
+        assert sum(counts) == 60
+        assert counts == sorted(counts, reverse=True)
+        assert max(counts) - min(counts) == 1
+
+    def test_n_microbatches(self):
+        assert ParallelConfig(8, 8, 1).n_microbatches(64) == 64
+        assert ParallelConfig(8, 4, 2, microbatch_size=2).n_microbatches(64) == 16
+
+    def test_with_microbatch(self):
+        assert ParallelConfig(8, 8, 1).with_microbatch(4).microbatch_size == 4
+
+
+class TestEnumeration:
+    def test_all_valid(self):
+        for config in enumerate_strategies(GPT3_76B, 64, 64):
+            config.validate(GPT3_76B, 64, 64)
+
+    def test_paper_config_enumerated(self):
+        configs = {
+            (c.tensor_parallel, c.pipeline_parallel, c.data_parallel)
+            for c in enumerate_strategies(GPT3_76B, 64, 64)
+        }
+        assert (8, 8, 1) in configs
+        assert (1, 1, 64) in configs
+
+    def test_space_nontrivial(self):
+        assert len(list(enumerate_strategies(GPT3_76B, 64, 64))) > 10

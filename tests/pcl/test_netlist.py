@@ -1,0 +1,143 @@
+"""Netlist structure tests: builder, validation, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pcl.netlist import Instance, Net, Netlist, NetlistBuilder
+
+
+def half_adder_netlist() -> Netlist:
+    b = NetlistBuilder("ha")
+    a, c = b.input("a"), b.input("b")
+    b.output("sum", b.xor_(a, c))
+    b.output("carry", b.and_(a, c))
+    return b.build()
+
+
+class TestBuilder:
+    def test_build_validates(self):
+        netlist = half_adder_netlist()
+        assert len(netlist.inputs) == 2
+        assert len(netlist.outputs) == 2
+        assert netlist.output_names == ["sum", "carry"]
+
+    def test_input_bus_naming(self):
+        b = NetlistBuilder("bus")
+        nets = b.input_bus("x", 4)
+        assert [n.name for n in nets] == ["x[0]", "x[1]", "x[2]", "x[3]"]
+
+    def test_gate_arity_checked(self):
+        b = NetlistBuilder("bad")
+        a = b.input("a")
+        with pytest.raises(NetlistError):
+            b.gate("and2", a)
+
+    def test_gate_multi_for_multi_output(self):
+        b = NetlistBuilder("fa")
+        x, y, z = b.input("x"), b.input("y"), b.input("z")
+        s, c = b.full_adder(x, y, z)
+        b.output("s", s)
+        b.output("c", c)
+        netlist = b.build()
+        assert netlist.cell_histogram() == {"fa": 1}
+
+    def test_gate_on_multi_output_cell_rejected(self):
+        b = NetlistBuilder("bad")
+        x, y = b.input("x"), b.input("y")
+        with pytest.raises(NetlistError, match="use gate_multi"):
+            b.gate("ha", x, y)
+
+    def test_bus_of(self):
+        assert Netlist.bus_of("acc[3]") == "acc"
+        assert Netlist.bus_of("x") == "x"
+
+
+class TestValidation:
+    def test_undriven_input_rejected(self):
+        b = NetlistBuilder("dangling")
+        a = b.input("a")
+        ghost = b.net("ghost")
+        b.output("out", b.and_(a, ghost))
+        with pytest.raises(NetlistError, match="no driver"):
+            b.build()
+
+    def test_undriven_output_rejected(self):
+        b = NetlistBuilder("dangling_out")
+        b.input("a")
+        b.output("out", b.net("floating"))
+        with pytest.raises(NetlistError, match="no driver"):
+            b.build()
+
+    def test_multiple_drivers_rejected(self):
+        shared = Net(uid=100, name="shared")
+        a = Net(uid=1, name="a")
+        netlist = Netlist(
+            name="double",
+            inputs=[a],
+            outputs=[shared],
+            instances=[
+                Instance(uid=1, cell="buf", inputs=(a,), outputs=(shared,)),
+                Instance(uid=2, cell="buf", inputs=(a,), outputs=(shared,)),
+            ],
+        )
+        with pytest.raises(NetlistError, match="multiple"):
+            netlist.validate()
+
+    def test_combinational_cycle_rejected(self):
+        a = Net(uid=1, name="a")
+        x = Net(uid=2, name="x")
+        y = Net(uid=3, name="y")
+        netlist = Netlist(
+            name="cycle",
+            inputs=[a],
+            outputs=[x],
+            instances=[
+                Instance(uid=1, cell="and2", inputs=(a, y), outputs=(x,)),
+                Instance(uid=2, cell="buf", inputs=(x,), outputs=(y,)),
+            ],
+        )
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.validate()
+
+    def test_output_names_length_checked(self):
+        a = Net(uid=1, name="a")
+        with pytest.raises(NetlistError):
+            Netlist(name="bad", inputs=[a], outputs=[a], output_names=["x", "y"])
+
+
+class TestMetrics:
+    def test_jj_count(self):
+        netlist = half_adder_netlist()
+        lib = netlist.library
+        assert netlist.jj_count() == lib["xor2"].jj_count + lib["and2"].jj_count
+
+    def test_cell_area_positive(self):
+        assert half_adder_netlist().cell_area() > 0
+
+    def test_histogram(self):
+        assert half_adder_netlist().cell_histogram() == {"and2": 1, "xor2": 1}
+
+    def test_logic_depth(self):
+        b = NetlistBuilder("chain")
+        a, c = b.input("a"), b.input("b")
+        x = b.and_(a, c)
+        y = b.or_(x, c)
+        b.output("out", y)
+        assert b.build().logic_depth() == 2
+
+    def test_fanout_count(self):
+        b = NetlistBuilder("fan")
+        a, c = b.input("a"), b.input("b")
+        x = b.and_(a, c)
+        b.output("o1", b.or_(x, c))
+        b.output("o2", b.xor_(x, c))
+        netlist = b.build()
+        x_net = netlist.instances[0].outputs[0]
+        assert netlist.fanout_count(x_net) == 2
+
+    def test_topological_order_respects_deps(self):
+        netlist = half_adder_netlist()
+        order = netlist.topological_instances()
+        assert len(order) == len(netlist.instances)

@@ -1,0 +1,67 @@
+"""Dual-rail signal tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcl.signal import DualRail, Polarity, majority3
+
+
+class TestPolarity:
+    def test_inverted_is_involution(self):
+        assert Polarity.POS.inverted() is Polarity.NEG
+        assert Polarity.NEG.inverted() is Polarity.POS
+        assert Polarity.POS.inverted().inverted() is Polarity.POS
+
+
+class TestDualRail:
+    def test_from_bool(self):
+        one = DualRail.from_bool(True)
+        assert one.pos and not one.neg
+        zero = DualRail.from_bool(False)
+        assert not zero.pos and zero.neg
+
+    def test_invalid_rail_pair_rejected(self):
+        with pytest.raises(ValueError):
+            DualRail(pos=True, neg=True)
+        with pytest.raises(ValueError):
+            DualRail(pos=False, neg=False)
+
+    def test_inversion_is_rail_swap(self):
+        value = DualRail.from_bool(True)
+        inverted = ~value
+        assert inverted.pos == value.neg
+        assert inverted.neg == value.pos
+
+    @given(st.booleans(), st.booleans())
+    def test_boolean_ops_match_python(self, a, b):
+        da, db = DualRail.from_bool(a), DualRail.from_bool(b)
+        assert bool(da & db) == (a and b)
+        assert bool(da | db) == (a or b)
+        assert bool(da ^ db) == (a != b)
+        assert bool(~da) == (not a)
+
+    @given(st.booleans(), st.booleans())
+    def test_dual_rail_invariant_preserved(self, a, b):
+        """Every operation yields a value asserting exactly one rail."""
+        da, db = DualRail.from_bool(a), DualRail.from_bool(b)
+        for value in (da & db, da | db, da ^ db, ~da):
+            assert value.pos != value.neg
+
+    @given(st.booleans(), st.booleans())
+    def test_demorgan(self, a, b):
+        da, db = DualRail.from_bool(a), DualRail.from_bool(b)
+        assert bool(~(da & db)) == bool(~da | ~db)
+        assert bool(~(da | db)) == bool(~da & ~db)
+
+
+class TestMajority:
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_majority_definition(self, a, b, c):
+        assert majority3(a, b, c) == (int(a) + int(b) + int(c) >= 2)
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_majority_symmetric(self, a, b, c):
+        assert majority3(a, b, c) == majority3(c, a, b) == majority3(b, c, a)

@@ -1,0 +1,59 @@
+"""Functional-simulation tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.pcl.netlist import NetlistBuilder
+from repro.pcl.simulate import simulate, simulate_bus
+
+
+def mux_netlist():
+    b = NetlistBuilder("mux")
+    s, a, c = b.input("s"), b.input("a"), b.input("b")
+    b.output("out", b.mux(s, a, c))
+    return b.build()
+
+
+class TestSimulate:
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_mux_semantics(self, s, a, b_val):
+        out = simulate(mux_netlist(), {"s": s, "a": a, "b": b_val})
+        assert out["out"] == (b_val if s else a)
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(NetlistError, match="missing value"):
+            simulate(mux_netlist(), {"s": True})
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(NetlistError, match="unknown inputs"):
+            simulate(mux_netlist(), {"s": 1, "a": 0, "b": 0, "zz": 1})
+
+
+class TestSimulateBus:
+    def _adder(self, width=4):
+        from repro.eda.designs import adder
+        from repro.eda.synthesis import synthesize
+
+        return synthesize(adder(width))
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    def test_bus_roundtrip(self, a, b_val):
+        netlist = self._adder(4)
+        out = simulate_bus(netlist, {"a": a, "b": b_val}, {"a": 4, "b": 4})
+        assert out["sum"] == a + b_val
+
+    def test_value_out_of_range_rejected(self):
+        netlist = self._adder(4)
+        with pytest.raises(NetlistError, match="does not fit"):
+            simulate_bus(netlist, {"a": 16, "b": 0}, {"a": 4, "b": 4})
+
+    def test_scalar_port_accepted_as_width1_bus(self):
+        netlist = mux_netlist()
+        out = simulate_bus(
+            netlist, {"s": 1, "a": 0, "b": 1}, {"s": 1, "a": 1, "b": 1}
+        )
+        assert out["out"] == 1

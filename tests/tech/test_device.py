@@ -1,0 +1,107 @@
+"""Device-model tests: JJ, FinFET, MIM capacitor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.tech.device import FinFET, JosephsonJunction, MIMCapacitor
+from repro.units import AJ, FLUX_QUANTUM, PS
+
+
+class TestJosephsonJunction:
+    def test_default_switching_energy_is_sub_attojoule(self):
+        jj = JosephsonJunction()
+        assert jj.switching_energy < 1 * AJ  # the paper's headline
+        assert jj.switching_energy == pytest.approx(50e-6 * FLUX_QUANTUM)
+
+    def test_switching_delay_is_picoseconds(self):
+        jj = JosephsonJunction()
+        assert 1 * PS < jj.switching_delay < 5 * PS
+
+    def test_max_switching_rate_exceeds_30ghz(self):
+        # 30 GHz operation requires the device to be much faster.
+        assert JosephsonJunction().max_switching_rate > 100e9
+
+    def test_thermal_stability(self):
+        jj = JosephsonJunction()
+        assert jj.thermal_stability_factor > 1000
+        assert jj.bit_error_rate() == 0.0  # exp underflow -> exactly 0
+
+    def test_bit_error_rate_marginal_device(self):
+        weak = JosephsonJunction(critical_current=1e-9)
+        assert 0 < weak.bit_error_rate() < 1
+
+    def test_area_positive_and_round(self):
+        jj = JosephsonJunction()
+        expected = math.pi * (jj.diameter / 2) ** 2
+        assert jj.area == pytest.approx(expected)
+
+    def test_scaled_preserves_current_density(self):
+        base = JosephsonJunction()
+        double = base.scaled(base.diameter * 2)
+        assert double.critical_current == pytest.approx(4 * base.critical_current)
+        assert double.switching_energy == pytest.approx(4 * base.switching_energy)
+
+    @given(st.floats(min_value=100e-9, max_value=600e-9))
+    def test_scaled_energy_monotone_in_diameter(self, diameter):
+        base = JosephsonJunction()
+        scaled = base.scaled(diameter)
+        assert (scaled.switching_energy > base.switching_energy) == (
+            diameter > base.diameter
+        )
+
+    @pytest.mark.parametrize(
+        "field", ["critical_current", "diameter", "characteristic_voltage", "temperature"]
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            JosephsonJunction(**{field: 0})
+
+
+class TestFinFET:
+    def test_switching_energy_dwarfs_jj(self):
+        ratio = FinFET().switching_energy / JosephsonJunction().switching_energy
+        # CMOS spends orders of magnitude more per switching event.
+        assert ratio > 100
+
+    def test_thermal_stability_comparable_metric(self):
+        assert FinFET().thermal_stability_factor > 1000
+
+    def test_area(self):
+        fet = FinFET()
+        assert fet.area == pytest.approx(fet.gate_pitch * 2 * fet.fin_pitch)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ConfigError):
+            FinFET(supply_voltage=-0.7)
+
+
+class TestMIMCapacitor:
+    def test_capacitance_scales_with_area(self):
+        small = MIMCapacitor(diameter=195e-9)
+        large = MIMCapacitor(diameter=390e-9)
+        assert large.capacitance == pytest.approx(4 * small.capacitance)
+
+    def test_resonant_frequency_formula(self):
+        cap = MIMCapacitor()
+        inductance = 1e-12
+        freq = cap.resonant_frequency(inductance)
+        assert freq == pytest.approx(
+            1 / (2 * math.pi * math.sqrt(inductance * cap.capacitance))
+        )
+
+    def test_resonance_can_reach_30ghz(self):
+        # There exists a plausible inductance that tunes the network to 30 GHz.
+        cap = MIMCapacitor(diameter=600e-9)
+        target = 30e9
+        inductance = 1 / ((2 * math.pi * target) ** 2 * cap.capacitance)
+        assert 1e-12 < inductance < 1e-6  # pH..µH: realizable wiring
+
+    def test_rejects_bad_inductance(self):
+        with pytest.raises(ConfigError):
+            MIMCapacitor().resonant_frequency(0)

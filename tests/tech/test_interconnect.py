@@ -1,0 +1,71 @@
+"""Wire-physics tests: NbTiN vs Cu transmission lines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tech.interconnect import (
+    CU_M1,
+    NBTIN_M1,
+    TransmissionLine,
+    WireMaterial,
+    communication_energy_ratio,
+)
+
+
+class TestDelays:
+    def test_nbtin_is_ballistic(self):
+        # Superconducting line: time of flight dominates RC.
+        assert NBTIN_M1.delay == pytest.approx(NBTIN_M1.time_of_flight)
+
+    def test_cu_long_line_is_rc_limited(self):
+        long_cu = TransmissionLine(
+            material=WireMaterial.COPPER, width=28e-9, length=5e-3
+        )
+        assert long_cu.rc_delay > long_cu.time_of_flight
+        assert long_cu.delay == pytest.approx(long_cu.rc_delay)
+
+    def test_rc_grows_quadratically_with_length(self):
+        short = TransmissionLine(material=WireMaterial.COPPER, length=1e-3)
+        double = TransmissionLine(material=WireMaterial.COPPER, length=2e-3)
+        assert double.rc_delay == pytest.approx(4 * short.rc_delay)
+
+    def test_time_of_flight_linear_in_length(self):
+        short = TransmissionLine(material=WireMaterial.NBTIN, length=1e-3)
+        double = TransmissionLine(material=WireMaterial.NBTIN, length=2e-3)
+        assert double.time_of_flight == pytest.approx(2 * short.time_of_flight)
+
+
+class TestBandwidth:
+    def test_nbtin_passes_clock_rate(self):
+        # The 30 GHz system clock passes untouched; the residual-resistance
+        # cap sits far above it ("negligible dissipation and dispersion").
+        assert NBTIN_M1.max_bandwidth_per_wire(30e9) == pytest.approx(30e9)
+        assert NBTIN_M1.max_bandwidth_per_wire(1e12) > 80e9
+
+    def test_cu_minimum_pitch_is_rc_capped(self):
+        long_cu = TransmissionLine(
+            material=WireMaterial.COPPER, width=28e-9, length=5e-3
+        )
+        assert long_cu.max_bandwidth_per_wire(30e9) < 30e9
+
+    def test_resistance_ordering(self):
+        assert NBTIN_M1.resistance < CU_M1.resistance
+
+
+class TestEnergy:
+    def test_energy_ratio_exceeds_100x(self):
+        assert communication_energy_ratio() > 100
+
+    def test_transfer_energy_linear(self):
+        assert NBTIN_M1.transfer_energy(2000) == pytest.approx(
+            2 * NBTIN_M1.transfer_energy(1000)
+        )
+
+    def test_transfer_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NBTIN_M1.transfer_energy(-1)
+
+    def test_characteristic_impedance_plausible(self):
+        # Tens of ohms for on-chip microstrip.
+        assert 10 < NBTIN_M1.characteristic_impedance < 200

@@ -1,0 +1,64 @@
+"""Process-node tests: the Table I parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tech.process import CMOS_5NM, SCD_NBTIN
+from repro.units import GHZ, MM2
+
+
+class TestSCDProcess:
+    def test_frequency(self):
+        assert SCD_NBTIN.operating_frequency == 30 * GHZ
+
+    def test_device_density_400m_per_cm2(self):
+        per_cm2 = SCD_NBTIN.device_density * 1e-4
+        assert per_cm2 == pytest.approx(400e6)
+
+    def test_devices_in_compute_die(self):
+        # 144 mm² at 4 M/mm² = 576 MJJ.
+        assert SCD_NBTIN.devices_in_area(144) == pytest.approx(576e6)
+
+    def test_sram_bytes_per_die(self):
+        # 0.4 Mbit/mm² incl. periphery -> 7.2 MB raw on 144 mm².
+        assert SCD_NBTIN.sram_bytes_in_area(144) == pytest.approx(7.2e6)
+
+    def test_cycle_time(self):
+        assert SCD_NBTIN.cycle_time == pytest.approx(1 / 30e9)
+
+    def test_temperature_budget_enables_integration(self):
+        # NbTiN's 420 C budget vs legacy Nb's <=200 C (Sec. II-A).
+        assert SCD_NBTIN.temperature_budget_celsius > 200
+
+    def test_junction_cd_range(self):
+        assert SCD_NBTIN.min_junction_diameter < SCD_NBTIN.max_junction_diameter
+        assert SCD_NBTIN.cd_sigma < 0.02 + 1e-12
+
+    def test_switching_energy_positive(self):
+        assert SCD_NBTIN.switching_energy > 0
+
+
+class TestCMOSProcess:
+    def test_frequency(self):
+        assert CMOS_5NM.operating_frequency == 2 * GHZ
+
+    def test_density_ratio(self):
+        # FinFETs are ~40x denser than JJs (170 vs 4 M/mm²).
+        assert CMOS_5NM.device_density / SCD_NBTIN.device_density == pytest.approx(
+            42.5
+        )
+
+    def test_sram_density_advantage(self):
+        # CMOS SRAM is ~90x denser than JSRAM per Table I.
+        ratio = CMOS_5NM.sram_bit_density / SCD_NBTIN.sram_bit_density
+        assert 80 < ratio < 100
+
+    def test_lithography_labels(self):
+        assert CMOS_5NM.lithography == "EUV"
+        assert SCD_NBTIN.lithography == "193i"
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ConfigError):
+            CMOS_5NM.devices_in_area(-1)

@@ -1,0 +1,107 @@
+"""Failure-injection / degradation studies.
+
+A production release must behave sensibly when components are derated:
+bump-yield loss, dead JSRAM dies, a half-populated datalink, a slow
+cryocooler stage.  Each test degrades one substrate parameter and checks
+the system-level effect has the right sign and a sane magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.blade import SCDBlade, build_blade
+from repro.arch.spu import SPUStack
+from repro.core.model import Optimus
+from repro.interconnect.packaging import BumpField
+from repro.parallel.mapper import map_inference, map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.units import TBPS
+from repro.workloads.llm import GPT3_76B, LLAMA_405B
+
+PAPER = ParallelConfig(8, 8, 1)
+
+
+def degraded_blade(**component_overrides) -> SCDBlade:
+    blade = build_blade()
+    return replace(blade, **component_overrides)
+
+
+class TestBumpYieldLoss:
+    def test_higher_redundancy_lowers_link_bandwidth(self):
+        healthy = build_blade()
+        worn = degraded_blade(
+            chip_link=replace(healthy.chip_link, redundancy=0.7)
+        )
+        assert worn.spu_link_bandwidth < healthy.spu_link_bandwidth
+        # Fabric bandwidth follows the bump budget.
+        assert worn.fabric().bandwidth < healthy.fabric().bandwidth
+
+    def test_training_comm_suffers(self):
+        healthy = build_blade().system().with_dram_bandwidth(16 * TBPS)
+        worn_blade = degraded_blade(
+            chip_link=BumpField(name="degraded", redundancy=0.9)
+        )
+        worn = worn_blade.system().with_dram_bandwidth(16 * TBPS)
+        t_healthy = Optimus(healthy).evaluate_training(
+            map_training(GPT3_76B, healthy, PAPER, 64)
+        )
+        t_worn = Optimus(worn).evaluate_training(
+            map_training(GPT3_76B, worn, PAPER, 64)
+        )
+        assert t_worn.comm_time > t_healthy.comm_time
+        assert t_worn.time_per_batch >= t_healthy.time_per_batch
+
+
+class TestDeadJSRAMDie:
+    def test_smaller_l1_never_helps(self):
+        healthy = build_blade()
+        crippled = replace(healthy, spu=SPUStack(n_l1_dies=1))
+        assert crippled.l1_capacity_bytes < healthy.l1_capacity_bytes
+        h_sys = healthy.system().with_dram_bandwidth(2 * TBPS)
+        c_sys = crippled.system().with_dram_bandwidth(2 * TBPS)
+        t_h = Optimus(h_sys).evaluate_training(
+            map_training(GPT3_76B, h_sys, PAPER, 32)
+        ).time_per_batch
+        t_c = Optimus(c_sys).evaluate_training(
+            map_training(GPT3_76B, c_sys, PAPER, 32)
+        ).time_per_batch
+        assert t_c >= t_h
+
+
+class TestDatalinkDegradation:
+    def test_half_wires_halves_bandwidth(self):
+        healthy = build_blade()
+        degraded = replace(healthy, datalink=healthy.datalink.scaled(0.5))
+        assert degraded.main_memory_bandwidth == pytest.approx(
+            healthy.main_memory_bandwidth / 2
+        )
+
+    def test_inference_latency_rises(self):
+        healthy = build_blade()
+        degraded = replace(healthy, datalink=healthy.datalink.scaled(0.5))
+        h_sys, d_sys = healthy.system(), degraded.system()
+        lat_h = Optimus(h_sys).evaluate_inference(
+            map_inference(LLAMA_405B, h_sys, batch=8, output_tokens=20)
+        ).latency
+        lat_d = Optimus(d_sys).evaluate_inference(
+            map_inference(LLAMA_405B, d_sys, batch=8, output_tokens=20)
+        ).latency
+        assert lat_d > lat_h
+        assert lat_d / lat_h < 2.5  # latency terms keep it sub-proportional
+
+
+class TestThermalDegradation:
+    def test_hot_dram_stage(self):
+        """A struggling 77 K stage shows up as extra access latency."""
+        base = build_blade().system().with_dram_bandwidth(16 * TBPS)
+        hot = base.with_dram_latency(120e-9)
+        lat_cold = Optimus(base).evaluate_inference(
+            map_inference(LLAMA_405B, base, batch=8, output_tokens=20)
+        ).latency
+        lat_hot = Optimus(hot).evaluate_inference(
+            map_inference(LLAMA_405B, hot, batch=8, output_tokens=20)
+        ).latency
+        assert lat_hot > 1.5 * lat_cold

@@ -1,0 +1,119 @@
+"""Cross-layer integration tests: the paper's headline results end to end.
+
+These tie the whole stack together — technology models sizing the
+architecture, the EDA flow validating the MAC cost, the mapper + Optimus
+reproducing the evaluation-section behaviours — without re-running the full
+figure sweeps (those live in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Optimus
+from repro.parallel.mapper import map_inference, map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.units import TBPS
+from repro.workloads.llm import GPT3_76B, LLAMA_405B
+
+PAPER = ParallelConfig(tensor_parallel=8, pipeline_parallel=8, data_parallel=1)
+
+
+class TestCrossLayerSizing:
+    def test_mac_flow_sizes_compute_die(self):
+        """Logic layer → architecture layer: the synthesized MAC cost is
+        consistent with the die's 2.45 PFLOP/s at the JJ budget."""
+        from repro.arch.compute import ComputeDie, mac_jj_from_flow
+
+        die = ComputeDie(mac_jj=mac_jj_from_flow())
+        assert 2.2e15 <= die.peak_flops <= 2.6e15
+
+    def test_blade_l1_from_jsram_dies(self, blade):
+        from repro.memory.jsram import JSRAMDie
+
+        per_die = JSRAMDie().capacity_bytes
+        assert blade.l1_capacity_bytes == pytest.approx(4 * per_die)
+
+    def test_datalink_limits_memory_bandwidth(self, blade):
+        assert blade.main_memory_bandwidth <= blade.datalink.bidirectional_bandwidth
+        assert blade.main_memory_bandwidth <= blade.dram.internal_bandwidth
+
+
+class TestHeadlineResults:
+    def test_training_speedup_band(self, scd_system_16tbps, gpu_system):
+        """Fig. 6 headline: SCD 3.5-4.4x faster for GPT-3 training."""
+        spu = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        gpu = Optimus(gpu_system).evaluate_training(
+            map_training(GPT3_76B, gpu_system, PAPER, 64)
+        )
+        assert 3.0 <= gpu.time_per_batch / spu.time_per_batch <= 4.8
+
+    def test_inference_speedup_band(self, scd_system_16tbps, gpu_system):
+        """Fig. 8 headline: ~9-11x inference speed-up at B=8."""
+        spu = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        )
+        gpu = Optimus(gpu_system).evaluate_inference(
+            map_inference(LLAMA_405B, gpu_system, batch=8)
+        )
+        assert 8.0 <= gpu.latency / spu.latency <= 12.0
+
+    def test_inference_gains_exceed_training_gains(
+        self, scd_system_16tbps, gpu_system
+    ):
+        """Key takeaway: 'SCD offers even more performant execution of LLM
+        inference compared to training' (memory-boundedness)."""
+        spu_t = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        gpu_t = Optimus(gpu_system).evaluate_training(
+            map_training(GPT3_76B, gpu_system, PAPER, 64)
+        )
+        spu_i = Optimus(scd_system_16tbps).evaluate_inference(
+            map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        )
+        gpu_i = Optimus(gpu_system).evaluate_inference(
+            map_inference(LLAMA_405B, gpu_system, batch=8)
+        )
+        assert gpu_i.latency / spu_i.latency > gpu_t.time_per_batch / spu_t.time_per_batch
+
+    def test_spu_gains_come_from_data_movement(self, scd_system_16tbps, gpu_system):
+        """'The primary gain coming from faster data movement.'"""
+        spu = Optimus(scd_system_16tbps).evaluate_training(
+            map_training(GPT3_76B, scd_system_16tbps, PAPER, 64)
+        )
+        gpu = Optimus(gpu_system).evaluate_training(
+            map_training(GPT3_76B, gpu_system, PAPER, 64)
+        )
+        compute_gain = gpu.compute_time / spu.compute_time
+        comm_gain = gpu.comm_time / spu.comm_time
+        assert comm_gain > compute_gain
+
+    def test_bandwidth_scaling_monotone_and_saturating(self, scd_system):
+        """Fig. 5/7 shape: monotone, saturating returns."""
+        latencies = []
+        for bw in (1, 4, 16, 64):
+            system = scd_system.with_dram_bandwidth(bw * TBPS)
+            report = Optimus(system).evaluate_inference(
+                map_inference(LLAMA_405B, system, batch=8, output_tokens=40)
+            )
+            latencies.append(report.latency)
+        assert latencies == sorted(latencies, reverse=True)
+        first_gain = latencies[0] / latencies[1]
+        last_gain = latencies[2] / latencies[3]
+        assert first_gain > last_gain
+
+
+class TestCapacityStory:
+    def test_gpu_kv_ceiling(self, gpu_system):
+        """Fig. 8b: B=128 presses the 64-GPU capacity; B=256 exceeds it."""
+        at_128 = map_inference(LLAMA_405B, gpu_system, batch=128)
+        at_256 = map_inference(LLAMA_405B, gpu_system, batch=256)
+        assert at_128.memory_required / gpu_system.total_memory_capacity > 0.9
+        assert not at_256.fits_memory
+
+    def test_blade_holds_405b_weights(self, scd_system_16tbps):
+        mapped = map_inference(LLAMA_405B, scd_system_16tbps, batch=8)
+        assert mapped.weights_bytes < scd_system_16tbps.total_memory_capacity

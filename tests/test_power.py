@@ -1,0 +1,119 @@
+"""Power/energy-model tests (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Optimus
+from repro.errors import ConfigError
+from repro.parallel.mapper import map_training
+from repro.parallel.strategy import ParallelConfig
+from repro.power import (
+    CoolingModel,
+    EnergyBreakdown,
+    PowerModel,
+    gpu_power_model,
+    scd_power_model,
+)
+from repro.workloads.llm import GPT3_76B
+
+PAPER = ParallelConfig(8, 8, 1)
+
+
+@pytest.fixture(scope="module")
+def reports(request):
+    from repro.arch import build_blade, build_gpu_system
+
+    blade = build_blade().system().with_dram_bandwidth(16e12)
+    gpu = build_gpu_system(64)
+    scd_report = Optimus(blade).evaluate_training(
+        map_training(GPT3_76B, blade, PAPER, 64)
+    )
+    gpu_report = Optimus(gpu).evaluate_training(
+        map_training(GPT3_76B, gpu, PAPER, 64)
+    )
+    return blade, gpu, scd_report, gpu_report
+
+
+class TestBreakdown:
+    def test_totals(self):
+        breakdown = EnergyBreakdown(compute=1.0, memory=2.0, network=3.0, overhead=4.0)
+        assert breakdown.total_device == 10.0
+        assert breakdown.total_wall == 10.0  # no multipliers -> 1x
+
+    def test_wall_multipliers(self):
+        breakdown = EnergyBreakdown(
+            compute=1.0, memory=1.0, network=0.0, overhead=0.0,
+            wall_multipliers={"compute": 500.0, "memory": 12.0},
+        )
+        assert breakdown.total_wall == pytest.approx(512.0)
+
+
+class TestCoefficients:
+    def test_scd_per_flop_sub_picojoule(self, reports):
+        blade, *_ = reports
+        model = scd_power_model(blade)
+        # ~4k JJ events per FLOP at ~0.1 aJ each: deep sub-pJ.
+        assert model.energy_per_flop < 1e-14
+
+    def test_gpu_per_flop_picojoule_class(self, reports):
+        _, gpu, *_ = reports
+        assert 0.1e-12 < gpu_power_model(gpu).energy_per_flop < 5e-12
+
+    def test_stage_assignment(self, reports):
+        blade, gpu, *_ = reports
+        assert scd_power_model(blade).compute_stage == "4K"
+        assert scd_power_model(blade).memory_stage == "77K"
+        assert gpu_power_model(gpu).compute_stage == "RT"
+
+    def test_cooling_validation(self):
+        with pytest.raises(ConfigError):
+            CoolingModel(w_per_w_4k=0)
+
+
+class TestHeadlineClaims:
+    def test_device_level_gain_near_100x(self, reports):
+        """The intro's '100x less on-chip power' claim, per training batch."""
+        blade, gpu, scd_report, gpu_report = reports
+        scd_pm, gpu_pm = scd_power_model(blade), gpu_power_model(gpu)
+        scd_e = scd_pm.training_energy(
+            scd_report, *scd_pm.estimate_training_traffic(scd_report)
+        )
+        gpu_e = gpu_pm.training_energy(
+            gpu_report, *gpu_pm.estimate_training_traffic(gpu_report)
+        )
+        gain = gpu_e.total_device / scd_e.total_device
+        assert 30 <= gain <= 300
+
+    def test_wall_plug_gain_survives_cooling(self, reports):
+        """Even at 500 W/W for the 4 K stage, SCD wins at the wall."""
+        blade, gpu, scd_report, gpu_report = reports
+        scd_pm, gpu_pm = scd_power_model(blade), gpu_power_model(gpu)
+        scd_e = scd_pm.training_energy(
+            scd_report, *scd_pm.estimate_training_traffic(scd_report)
+        )
+        gpu_e = gpu_pm.training_energy(
+            gpu_report, *gpu_pm.estimate_training_traffic(gpu_report)
+        )
+        assert gpu_e.total_wall / scd_e.total_wall > 1.5
+
+    def test_cooling_tax_is_visible(self, reports):
+        blade, _, scd_report, _ = reports
+        pm = scd_power_model(blade)
+        energy = pm.training_energy(
+            scd_report, *pm.estimate_training_traffic(scd_report)
+        )
+        assert energy.total_wall > 10 * energy.total_device
+
+    def test_pessimistic_cooling_flips_nothing_at_device_level(self, reports):
+        blade, _, scd_report, _ = reports
+        harsh = scd_power_model(blade, CoolingModel(w_per_w_4k=1000.0))
+        gentle = scd_power_model(blade, CoolingModel(w_per_w_4k=300.0))
+        e_harsh = harsh.training_energy(
+            scd_report, *harsh.estimate_training_traffic(scd_report)
+        )
+        e_gentle = gentle.training_energy(
+            scd_report, *gentle.estimate_training_traffic(scd_report)
+        )
+        assert e_harsh.total_wall > e_gentle.total_wall
+        assert e_harsh.total_device == pytest.approx(e_gentle.total_device)

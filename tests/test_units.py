@@ -1,0 +1,79 @@
+"""Unit-layer tests: constants, conversions, formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_scale_chain(self):
+        assert units.PS * 1e3 == pytest.approx(units.NS)
+        assert units.NS * 1e3 == pytest.approx(units.US)
+        assert units.US * 1e3 == pytest.approx(units.MS)
+        assert units.MS * 1e3 == pytest.approx(units.SECOND)
+
+    def test_capacity_decimal(self):
+        assert units.KB == 1e3
+        assert units.MB == 1e6
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+
+    def test_capacity_binary(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+    def test_bit_rate_helpers(self):
+        assert units.GBITPS * 8 == units.GBPS
+        assert units.TBITPS * 8 == units.TBPS
+
+    def test_flux_quantum_magnitude(self):
+        # Φ0 = h/2e ≈ 2.07e-15 Wb.
+        assert 2.0e-15 < units.FLUX_QUANTUM < 2.1e-15
+
+    def test_boltzmann(self):
+        assert abs(units.BOLTZMANN - 1.380649e-23) < 1e-28
+
+    def test_geometry(self):
+        assert units.UM2 == (units.UM) ** 2
+        assert units.MM2 == (units.MM) ** 2
+        assert units.CM2 == (units.CM) ** 2
+
+
+class TestConversions:
+    def test_to_unit(self):
+        assert units.to_unit(2.45e15, units.PFLOPS) == pytest.approx(2.45)
+
+    def test_from_unit(self):
+        assert units.from_unit(30, units.GHZ) == 30e9
+
+    @given(st.floats(min_value=1e-18, max_value=1e18, allow_nan=False))
+    def test_roundtrip(self, value):
+        assert units.to_unit(
+            units.from_unit(value, units.GHZ), units.GHZ
+        ) == pytest.approx(value)
+
+
+class TestFormatting:
+    def test_fmt_pflops(self):
+        assert units.fmt_si(2.45e15, "FLOP/s") == "2.45 PFLOP/s"
+
+    def test_fmt_attojoule(self):
+        text = units.fmt_si(1.03e-19, "J")
+        assert "aJ" in text.replace(" ", "")
+
+    def test_fmt_zero(self):
+        assert units.fmt_si(0, "B") == "0 B"
+
+    def test_fmt_plain(self):
+        assert units.fmt_si(5.0) == "5"
+
+    def test_fmt_small_prefixes(self):
+        assert "n" in units.fmt_si(30e-9, "s")
+        assert "p" in units.fmt_si(2e-12, "s")

@@ -1,0 +1,130 @@
+"""Model-zoo tests: parameter counts and KV-cache sizes match the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.llm import (
+    GPT3_175B,
+    GPT3_18B,
+    GPT3_76B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA2_7B,
+    LLAMA_405B,
+    LLAMA_70B,
+    MODEL_ZOO,
+    MOE_132B,
+    LLMConfig,
+    MoESpec,
+)
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize(
+        "config, expected_b",
+        [
+            (GPT3_18B, 18.4),
+            (GPT3_76B, 76.1),
+            (GPT3_175B, 175.0),
+            (LLAMA_405B, 405.0),
+            (LLAMA_70B, 70.0),
+            (LLAMA2_7B, 7.0),
+            (LLAMA2_13B, 13.0),
+        ],
+    )
+    def test_name_matches_size(self, config, expected_b):
+        assert config.n_params / 1e9 == pytest.approx(expected_b, rel=0.12)
+
+    def test_moe_total_and_active(self):
+        # Paper: 132B total / 38B active, 16 experts, 4 active.
+        assert MOE_132B.n_params / 1e9 == pytest.approx(132, rel=0.03)
+        assert MOE_132B.active_params / 1e9 == pytest.approx(38, rel=0.03)
+        assert MOE_132B.moe.n_experts == 16
+        assert MOE_132B.moe.active_experts == 4
+
+    def test_dense_active_equals_total(self):
+        assert GPT3_76B.active_params == GPT3_76B.n_params
+
+    def test_megatron_dimensions(self):
+        assert (GPT3_76B.n_layers, GPT3_76B.hidden, GPT3_76B.n_heads) == (60, 10240, 80)
+        assert (GPT3_175B.n_layers, GPT3_175B.hidden) == (96, 12288)
+
+
+class TestKVCache:
+    @pytest.mark.parametrize(
+        "config, expected_gb",
+        [(LLAMA2_7B, 2.0), (LLAMA2_13B, 3.0), (LLAMA2_70B, 10.0)],
+    )
+    def test_sec6_kv_sizes(self, config, expected_gb):
+        # Sec. VI: "llama2-7B: 2 GB, llama2-13B: 3 GB and llama2-70B: 10 GB".
+        kv = config.kv_cache_bytes(batch=1)
+        assert kv / 1e9 == pytest.approx(expected_gb, rel=0.15)
+
+    def test_llama405b_batch128_near_5tb(self):
+        # Fig. 8b: the B=128 bar approaches the 64-GPU 5 TB capacity.
+        kv = LLAMA_405B.kv_cache_bytes(batch=128)
+        assert 4.0e12 <= kv <= 4.7e12
+
+    def test_kv_linear_in_batch(self):
+        assert LLAMA_405B.kv_cache_bytes(8) == pytest.approx(
+            2 * LLAMA_405B.kv_cache_bytes(4)
+        )
+
+    def test_kv_traffic_vs_allocation(self):
+        alloc = LLAMA_405B.kv_cache_bytes(1)  # at the context window
+        actual = LLAMA_405B.kv_cache_bytes(1, seq_len=400)  # at I/O 200/200
+        assert actual < alloc
+        assert actual == pytest.approx(alloc * 400 / 4096)
+
+
+class TestConfigValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(
+                name="bad", n_layers=2, hidden=100, n_heads=3, kv_heads=3,
+                ffn_hidden=400, vocab_size=1000, max_seq_len=128,
+            )
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(
+                name="bad", n_layers=2, hidden=128, n_heads=8, kv_heads=3,
+                ffn_hidden=512, vocab_size=1000, max_seq_len=128,
+            )
+
+    def test_moe_active_bounded(self):
+        with pytest.raises(ConfigError):
+            MoESpec(n_experts=4, active_experts=8, expert_ffn=128)
+
+    def test_ffn_multiplier_limited(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(
+                name="bad", n_layers=2, hidden=128, n_heads=8, kv_heads=8,
+                ffn_hidden=512, vocab_size=1000, max_seq_len=128,
+                ffn_multiplier=4,
+            )
+
+
+class TestZooAndHelpers:
+    def test_zoo_complete(self):
+        assert len(MODEL_ZOO) == 9
+        assert "GPT3-76.1B" in MODEL_ZOO
+        assert "MoE-132B/38B" in MODEL_ZOO
+
+    def test_flops_per_token_exceeds_2p(self):
+        # 2·P dense term plus attention context term.
+        assert GPT3_76B.flops_per_token() > 2 * GPT3_76B.n_params
+
+    def test_with_layers(self):
+        half = GPT3_76B.with_layers(30)
+        assert half.n_layers == 30
+        assert half.n_params < GPT3_76B.n_params
+
+    def test_weight_bytes(self):
+        assert LLAMA_405B.weight_bytes(2.0) == pytest.approx(2 * LLAMA_405B.n_params)
+
+    def test_head_dims(self):
+        assert GPT3_76B.head_dim == 128
+        assert GPT3_76B.kv_dim == GPT3_76B.hidden  # MHA
