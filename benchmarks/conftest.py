@@ -1,13 +1,28 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and collection hooks for the benchmark suite.
 
-Every benchmark regenerates one paper artifact (table or figure), asserts
-the paper's qualitative claims on the result, and reports the regenerated
-rows through ``--benchmark-only -s``.
+Every figure benchmark regenerates one paper artifact (table or figure),
+asserts the paper's qualitative claims on the result, and reports the
+regenerated rows through ``--benchmark-only -s``.
+
+``benchmarks/perf/`` holds the *performance-trajectory* benchmarks: fast,
+assertion-bearing speed checks that are wired into the default pytest run
+via :func:`pytest_collect_file` below (the slower per-figure benchmarks
+remain opt-in: ``pytest benchmarks/bench_<name>.py``).
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_collect_file(file_path, parent):
+    """Collect ``benchmarks/perf/bench_*.py`` in the default test run."""
+    if (
+        file_path.suffix == ".py"
+        and file_path.name.startswith("bench_")
+        and file_path.parent.name == "perf"
+    ):
+        return pytest.Module.from_parent(parent, path=file_path)
 
 
 @pytest.fixture

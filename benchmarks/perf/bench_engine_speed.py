@@ -1,0 +1,170 @@
+"""Perf trajectory benchmark: op-program engine vs the seed's flat timing.
+
+Times a reference Fig. 5 + Fig. 7 sweep twice on the same machine in the
+same process:
+
+* **engine** — the production path: run-length-encoded op programs with the
+  shared memoized kernel-timing cache;
+* **flat**   — the seed's behavior, reproduced via
+  ``Optimus(use_programs=False, cache=NullTimingCache())``: every kernel of
+  every layer replica timed one by one, nothing memoized.
+
+Asserts the two produce identical series (1e-9 relative) and that the
+engine is ≥5× faster, then writes the measurements to ``BENCH_engine.json``
+at the repo root — the first point of the repo's recorded perf trajectory.
+Collected in the default pytest run via ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import (
+    DEFAULT_SPU_BANDWIDTH,
+    TRAINING_PARALLEL,
+    fig5_training_bandwidth_sweep,
+    fig7_inference,
+    scd_system,
+)
+from repro.arch.gpu import build_gpu_system
+from repro.core.model import Optimus
+from repro.core.timing_cache import NullTimingCache, default_timing_cache
+from repro.parallel.mapper import map_inference, map_training
+from repro.units import NS, TBPS
+from repro.workloads.llm import GPT3_76B, LLAMA_405B
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+FIG5_BANDWIDTHS = (0.5, 1, 2, 4, 8, 16, 32, 64)
+FIG7_BANDWIDTHS = (0.5, 1, 2, 4, 8, 16, 32)
+FIG7_LATENCIES_NS = (10, 30, 50, 100, 150, 200)
+FIG7_BATCHES = (4, 8, 16, 32, 64, 128)
+
+
+def _seed_optimus(system) -> Optimus:
+    """An evaluator that reproduces the seed's flat, uncached timing walk."""
+    return Optimus(system, cache=NullTimingCache(), use_programs=False)
+
+
+def _flat_fig5() -> list[float]:
+    series = []
+    for bw in FIG5_BANDWIDTHS:
+        system = scd_system(bw * TBPS)
+        mapped = map_training(GPT3_76B, system, TRAINING_PARALLEL, 128)
+        report = _seed_optimus(system).evaluate_training(mapped)
+        series.append(report.achieved_flops_per_pu / 1e15)
+    return series
+
+
+def _flat_fig7() -> dict[str, list[float]]:
+    def infer(system, batch):
+        return _seed_optimus(system).evaluate_inference(
+            map_inference(system=system, model=LLAMA_405B, batch=batch,
+                          input_tokens=200, output_tokens=200)
+        )
+
+    latencies = [
+        infer(scd_system(bw * TBPS), 8).latency for bw in FIG7_BANDWIDTHS
+    ]
+    base = scd_system(DEFAULT_SPU_BANDWIDTH)
+    latency_sweep = [
+        infer(base.with_dram_latency(ns * NS), 8).achieved_flops_per_pu / 1e15
+        for ns in FIG7_LATENCIES_NS
+    ]
+    batch_latencies = [infer(base, b).latency for b in FIG7_BATCHES]
+    gpu_latency = infer(build_gpu_system(base.n_accelerators), 8).latency
+    return {
+        "latencies": latencies,
+        "latency_sweep_pflops_per_spu": latency_sweep,
+        "batch_latencies": batch_latencies,
+        "gpu_latency": [gpu_latency],
+    }
+
+
+def _max_rel_err(a, b) -> float:
+    return max(
+        abs(x - y) / max(abs(y), 1e-300) for x, y in zip(a, b, strict=True)
+    )
+
+
+def test_engine_speed_vs_seed_flat_timing():
+    # Cold-start the shared cache so the engine pass is not pre-warmed by
+    # earlier tests in the same process.
+    default_timing_cache().clear()
+
+    t0 = time.perf_counter()
+    fig5 = fig5_training_bandwidth_sweep(bandwidths_tbps=FIG5_BANDWIDTHS)
+    fig7 = fig7_inference(
+        bandwidths_tbps=FIG7_BANDWIDTHS,
+        dram_latencies_ns=FIG7_LATENCIES_NS,
+        batches=FIG7_BATCHES,
+    )
+    engine_seconds = time.perf_counter() - t0
+    cache = default_timing_cache()
+    cache_stats = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": round(cache.hit_rate, 4),
+    }
+
+    t0 = time.perf_counter()
+    flat5 = _flat_fig5()
+    flat7 = _flat_fig7()
+    flat_seconds = time.perf_counter() - t0
+
+    # Equivalence: the engine must reproduce the seed numbers exactly.
+    errors = {
+        "fig5.achieved_pflops_per_spu": _max_rel_err(
+            fig5.achieved_pflops_per_spu, flat5
+        ),
+        "fig7.latencies": _max_rel_err(fig7.latencies, flat7["latencies"]),
+        "fig7.latency_sweep_pflops_per_spu": _max_rel_err(
+            fig7.latency_sweep_pflops_per_spu,
+            flat7["latency_sweep_pflops_per_spu"],
+        ),
+        "fig7.batch_latencies": _max_rel_err(
+            fig7.batch_latencies, flat7["batch_latencies"]
+        ),
+        "fig7.gpu_latency": _max_rel_err(
+            [fig7.gpu_latency], flat7["gpu_latency"]
+        ),
+    }
+    max_rel_err = max(errors.values())
+    speedup = flat_seconds / engine_seconds
+
+    result = {
+        "benchmark": "fig5 + fig7 reference sweep",
+        "engine_seconds": round(engine_seconds, 6),
+        "flat_seed_seconds": round(flat_seconds, 6),
+        "speedup": round(speedup, 2),
+        "max_rel_err": max_rel_err,
+        "series_rel_err": {k: float(v) for k, v in errors.items()},
+        "timing_cache": cache_stats,
+        "note": (
+            "flat_seed_seconds reproduces the pre-engine seed path "
+            "(per-replica op walk, no memoization) in the same process"
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=1) + "\n")
+
+    print(
+        f"\nengine {engine_seconds * 1e3:.1f} ms vs flat seed "
+        f"{flat_seconds * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"(cache hit rate {cache_stats['hit_rate']:.2%}), "
+        f"max series rel err {max_rel_err:.2e}"
+    )
+
+    assert max_rel_err < 1e-9, errors
+    assert speedup >= 5.0, (
+        f"engine only {speedup:.1f}x faster than the seed flat path "
+        f"({engine_seconds:.3f}s vs {flat_seconds:.3f}s)"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-s"])

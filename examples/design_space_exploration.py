@@ -8,12 +8,19 @@ Uses the library as a downstream architect would:
 * scale the blade (4x4 ... 10x10 SPUs; the paper caps at ~100 per blade),
 * trade datalink wire count against achieved training throughput.
 
-Run:  python examples/design_space_exploration.py
+The grid studies run through the declarative ``repro.analysis.sweep``
+driver; pass ``--workers N`` to fan them out over worker processes.
+
+Run:  python examples/design_space_exploration.py [--workers N]
 """
 
+import argparse
+
 from repro.analysis.figures import TRAINING_PARALLEL, scd_system
+from repro.analysis.sweep import SweepGrid, run_sweep
 from repro.arch import build_blade
 from repro.core import Optimus, search_strategies
+from repro.core.optimizer import StrategyResult
 from repro.parallel import map_training
 from repro.units import TBPS
 from repro.workloads import GPT3_76B
@@ -39,54 +46,84 @@ def strategy_search() -> None:
     )
 
 
-def blade_scaling() -> None:
+def _blade_scaling_point(side: int, batch: int) -> tuple[float, int, StrategyResult]:
+    """One blade-scaling grid point: best strategy on a side×side blade."""
+    blade = build_blade(nx=side, ny=side)
+    system = blade.system().with_dram_bandwidth(16 * TBPS)
+    # Let the mapper pick the best decomposition for this SPU count.
+    best = search_strategies(GPT3_76B, system, batch=batch, max_candidates=12)[0]
+    return blade.dram_bandwidth_per_spu, system.n_accelerators, best
+
+
+def blade_scaling(workers: int | None = None) -> None:
     """Scale the SPU array; DRAM and network BW scale with it (Sec. IV-C)."""
     print("\n=== Blade scaling: GPT3-76B training, B=128 ===")
     print(
         f"{'array':>7s} {'SPUs':>5s} {'TBps/SPU':>9s} {'TP/PP/DP':>9s} "
         f"{'s/batch':>9s} {'PF/SPU':>7s}"
     )
-    for side in (4, 8, 10):
-        blade = build_blade(nx=side, ny=side)
-        system = blade.system().with_dram_bandwidth(16 * TBPS)
-        # Let the mapper pick the best decomposition for this SPU count.
-        best = search_strategies(
-            GPT3_76B, system, batch=128, max_candidates=12
-        )[0]
+    sweep = run_sweep(
+        _blade_scaling_point,
+        SweepGrid.product(side=(4, 8, 10)),
+        common={"batch": 128},
+        workers=workers,
+    )
+    for point in sweep.points:
+        side = point["side"]
+        bw_per_spu, n_spus, best = point.value
         p = best.parallel
         print(
-            f"{side}x{side:>4d} {system.n_accelerators:5d} "
-            f"{blade.dram_bandwidth_per_spu / 1e12:9.2f} "
+            f"{side}x{side:>4d} {n_spus:5d} "
+            f"{bw_per_spu / 1e12:9.2f} "
             f"{p.tensor_parallel:3d}/{p.pipeline_parallel}/{p.data_parallel} "
             f"{best.time_per_batch:9.3f} "
             f"{best.report.achieved_flops_per_pu / 1e15:7.2f}"
         )
 
 
-def datalink_scaling() -> None:
+def _datalink_scaling_point(factor: float, batch: int) -> tuple[float, float]:
+    """One datalink grid point: (bandwidth per SPU, seconds per batch)."""
+    base_blade = build_blade()
+    scaled = base_blade.datalink.scaled(factor)
+    bw_per_spu = min(
+        scaled.bidirectional_bandwidth,
+        base_blade.dram.internal_bandwidth * factor,
+    ) / base_blade.n_spus
+    system = base_blade.system().with_dram_bandwidth(bw_per_spu)
+    report = Optimus(system).evaluate_training(
+        map_training(GPT3_76B, system, TRAINING_PARALLEL, batch=batch)
+    )
+    return bw_per_spu, report.time_per_batch
+
+
+def datalink_scaling(workers: int | None = None) -> None:
     """Scale datalink wires: the paper notes the 30 TBps baseline 'can be
     increased or decreased based on the power budget, metal layers, ...'."""
     print("\n=== Datalink scaling: GPT3-76B training, B=128, 8x8 blade ===")
     print(f"{'wires x':>8s} {'TBps/SPU':>9s} {'s/batch':>9s}")
-    base_blade = build_blade()
-    for factor in (1.0, 4.0, 16.0, 34.0):
-        scaled = base_blade.datalink.scaled(factor)
-        bw_per_spu = min(
-            scaled.bidirectional_bandwidth, base_blade.dram.internal_bandwidth * factor
-        ) / base_blade.n_spus
-        system = base_blade.system().with_dram_bandwidth(bw_per_spu)
-        report = Optimus(system).evaluate_training(
-            map_training(GPT3_76B, system, TRAINING_PARALLEL, batch=128)
-        )
-        print(
-            f"{factor:8.0f} {bw_per_spu / 1e12:9.2f} {report.time_per_batch:9.3f}"
-        )
+    sweep = run_sweep(
+        _datalink_scaling_point,
+        SweepGrid.product(factor=(1.0, 4.0, 16.0, 34.0)),
+        common={"batch": 128},
+        workers=workers,
+    )
+    for point in sweep.points:
+        bw_per_spu, time_per_batch = point.value
+        print(f"{point['factor']:8.0f} {bw_per_spu / 1e12:9.2f} {time_per_batch:9.3f}")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sweep grids out over N worker processes (default: serial)",
+    )
+    args = parser.parse_args()
     strategy_search()
-    blade_scaling()
-    datalink_scaling()
+    blade_scaling(workers=args.workers)
+    datalink_scaling(workers=args.workers)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from repro.analysis.figures import (
     fig8_inference_speedup,
     l2_kv_cache_study,
 )
+from repro.analysis.sweep import SweepGrid, SweepPoint, SweepResult, run_sweep
 from repro.analysis.tables import (
     blade_spec_table,
     datalink_table,
@@ -24,6 +25,10 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "SweepGrid",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
     "Fig5Result",
     "Fig6Result",
     "Fig7Result",

@@ -4,12 +4,19 @@ Each ``figN_*`` function reproduces the corresponding figure's data with the
 paper's exact experimental setup and returns the series; the benchmark suite
 asserts the paper's qualitative claims on them, and ``EXPERIMENTS.md``
 records paper-vs-measured values.
+
+The sweeps run through the declarative :mod:`repro.analysis.sweep` driver
+(grid in, structured series out) rather than hand-rolled per-figure loops;
+pass ``workers=N`` to any generator to fan the grid out over worker
+processes.  Serial runs share the process-wide kernel-timing cache, which
+keeps even the 200-token decode sweeps in the tens of milliseconds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import SweepGrid, run_sweep
 from repro.arch.blade import build_blade
 from repro.arch.gpu import build_gpu_system
 from repro.arch.system import SystemSpec
@@ -63,33 +70,41 @@ class Fig5Result:
     reports: tuple[TrainingReport, ...] = field(repr=False, default=())
 
 
+def _fig5_point(
+    bandwidth_tbps: float, batch: int, model: LLMConfig
+) -> TrainingReport:
+    """One Fig. 5 grid point: train at the given DRAM bandwidth per SPU."""
+    system = scd_system(bandwidth_tbps * TBPS)
+    mapped = map_training(model, system, TRAINING_PARALLEL, batch)
+    return Optimus(system).evaluate_training(mapped)
+
+
 def fig5_training_bandwidth_sweep(
     bandwidths_tbps: tuple[float, ...] = (0.5, 1, 2, 4, 8, 16, 32, 64),
     batch: int = 128,
     model: LLMConfig = GPT3_76B,
+    workers: int | None = None,
 ) -> Fig5Result:
     """Reproduce Fig. 5 (+ inset): bandwidth sweep 0.5–64 TBps per SPU."""
-    achieved = []
-    gemm_total = []
-    gemm_mem = []
-    gemm_comp = []
-    reports = []
-    for bw in bandwidths_tbps:
-        system = scd_system(bw * TBPS)
-        mapped = map_training(model, system, TRAINING_PARALLEL, batch)
-        report = Optimus(system).evaluate_training(mapped)
-        reports.append(report)
-        achieved.append(report.achieved_flops_per_pu / 1e15)
-        gemm_total.append(report.fw_gemm_breakdown.total)
-        gemm_mem.append(report.fw_gemm_breakdown.memory_bound_time)
-        gemm_comp.append(report.fw_gemm_breakdown.compute_bound_time)
+    sweep = run_sweep(
+        _fig5_point,
+        SweepGrid.product(bandwidth_tbps=tuple(bandwidths_tbps)),
+        common={"batch": batch, "model": model},
+        workers=workers,
+    )
     return Fig5Result(
         bandwidths=tuple(bandwidths_tbps),
-        achieved_pflops_per_spu=tuple(achieved),
-        gemm_time_per_layer=tuple(gemm_total),
-        gemm_memory_bound_time=tuple(gemm_mem),
-        gemm_compute_bound_time=tuple(gemm_comp),
-        reports=tuple(reports),
+        achieved_pflops_per_spu=sweep.series(
+            lambda r: r.achieved_flops_per_pu / 1e15
+        ),
+        gemm_time_per_layer=sweep.series(lambda r: r.fw_gemm_breakdown.total),
+        gemm_memory_bound_time=sweep.series(
+            lambda r: r.fw_gemm_breakdown.memory_bound_time
+        ),
+        gemm_compute_bound_time=sweep.series(
+            lambda r: r.fw_gemm_breakdown.compute_bound_time
+        ),
+        reports=sweep.values(),
     )
 
 
@@ -122,26 +137,35 @@ class Fig6Result:
         return tuple(entry.speedup for entry in self.entries)
 
 
+def _fig6_point(
+    model: LLMConfig, batch: int, dram_bandwidth_per_spu: float
+) -> Fig6Entry:
+    """One Fig. 6 grid point: the SPU/GPU training pair for one model."""
+    spu_system = scd_system(dram_bandwidth_per_spu)
+    gpu_system = build_gpu_system(spu_system.n_accelerators)
+    spu_report = Optimus(spu_system).evaluate_training(
+        map_training(model, spu_system, TRAINING_PARALLEL, batch)
+    )
+    gpu_report = Optimus(gpu_system).evaluate_training(
+        map_training(model, gpu_system, TRAINING_PARALLEL, batch)
+    )
+    return Fig6Entry(model_name=model.name, spu=spu_report, gpu=gpu_report)
+
+
 def fig6_training_models(
     batch: int = 64,
     dram_bandwidth_per_spu: float = DEFAULT_SPU_BANDWIDTH,
     models: tuple[LLMConfig, ...] = (GPT3_18B, GPT3_76B, GPT3_175B),
+    workers: int | None = None,
 ) -> Fig6Result:
     """Reproduce Fig. 6 (+ inset): per-batch breakdown SPU vs GPU."""
-    spu_system = scd_system(dram_bandwidth_per_spu)
-    gpu_system = build_gpu_system(spu_system.n_accelerators)
-    entries = []
-    for model in models:
-        spu_report = Optimus(spu_system).evaluate_training(
-            map_training(model, spu_system, TRAINING_PARALLEL, batch)
-        )
-        gpu_report = Optimus(gpu_system).evaluate_training(
-            map_training(model, gpu_system, TRAINING_PARALLEL, batch)
-        )
-        entries.append(
-            Fig6Entry(model_name=model.name, spu=spu_report, gpu=gpu_report)
-        )
-    return Fig6Result(entries=tuple(entries))
+    sweep = run_sweep(
+        _fig6_point,
+        SweepGrid.product(model=models),
+        common={"batch": batch, "dram_bandwidth_per_spu": dram_bandwidth_per_spu},
+        workers=workers,
+    )
+    return Fig6Result(entries=sweep.values())
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +194,45 @@ class Fig7Result:
         return self.latencies[0] / self.latencies[-1]
 
 
+def _infer_report(
+    system: SystemSpec, model: LLMConfig, batch: int, io_tokens: tuple[int, int]
+) -> InferenceReport:
+    return Optimus(system).evaluate_inference(
+        map_inference(system=system, model=model, batch=batch,
+                      input_tokens=io_tokens[0], output_tokens=io_tokens[1])
+    )
+
+
+def _fig7_bandwidth_point(
+    bandwidth_tbps: float,
+    model: LLMConfig,
+    batch: int,
+    io_tokens: tuple[int, int],
+) -> InferenceReport:
+    """Fig. 7 main sweep point: inference at one DRAM bandwidth per SPU."""
+    return _infer_report(scd_system(bandwidth_tbps * TBPS), model, batch, io_tokens)
+
+
+def _fig7_latency_point(
+    dram_latency_ns: float,
+    model: LLMConfig,
+    batch: int,
+    io_tokens: tuple[int, int],
+) -> InferenceReport:
+    """Fig. 7 inset (a) point: inference at one DRAM latency, 16 TBps."""
+    system = scd_system(DEFAULT_SPU_BANDWIDTH).with_dram_latency(
+        dram_latency_ns * NS
+    )
+    return _infer_report(system, model, batch, io_tokens)
+
+
+def _fig7_batch_point(
+    batch: int, model: LLMConfig, io_tokens: tuple[int, int]
+) -> InferenceReport:
+    """Fig. 7 inset (b) point: inference at one batch size, 16 TBps."""
+    return _infer_report(scd_system(DEFAULT_SPU_BANDWIDTH), model, batch, io_tokens)
+
+
 def fig7_inference(
     bandwidths_tbps: tuple[float, ...] = (0.5, 1, 2, 4, 8, 16, 32),
     dram_latencies_ns: tuple[float, ...] = (10, 30, 50, 100, 150, 200),
@@ -177,51 +240,42 @@ def fig7_inference(
     batch: int = 8,
     io_tokens: tuple[int, int] = (200, 200),
     model: LLMConfig = LLAMA_405B,
+    workers: int | None = None,
 ) -> Fig7Result:
     """Reproduce Fig. 7 and both insets."""
-    latencies = []
-    for bw in bandwidths_tbps:
-        system = scd_system(bw * TBPS)
-        report = Optimus(system).evaluate_inference(
-            map_inference(system=system, model=model, batch=batch,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        latencies.append(report.latency)
-
-    base = scd_system(DEFAULT_SPU_BANDWIDTH)
-    sweep_pflops = []
-    for lat_ns in dram_latencies_ns:
-        system = base.with_dram_latency(lat_ns * NS)
-        report = Optimus(system).evaluate_inference(
-            map_inference(system=system, model=model, batch=batch,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        sweep_pflops.append(report.achieved_flops_per_pu / 1e15)
-
-    batch_lat = []
-    batch_pflops = []
-    for b in batches:
-        report = Optimus(base).evaluate_inference(
-            map_inference(system=base, model=model, batch=b,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        batch_lat.append(report.latency)
-        batch_pflops.append(report.achieved_flops_per_pu / 1e15)
-
-    gpu_system = build_gpu_system(base.n_accelerators)
-    gpu_report = Optimus(gpu_system).evaluate_inference(
-        map_inference(system=gpu_system, model=model, batch=batch,
-                      input_tokens=io_tokens[0], output_tokens=io_tokens[1])
+    common = {"model": model, "io_tokens": io_tokens}
+    bw_sweep = run_sweep(
+        _fig7_bandwidth_point,
+        SweepGrid.product(bandwidth_tbps=tuple(bandwidths_tbps)),
+        common={**common, "batch": batch},
+        workers=workers,
+    )
+    latency_sweep = run_sweep(
+        _fig7_latency_point,
+        SweepGrid.product(dram_latency_ns=tuple(dram_latencies_ns)),
+        common={**common, "batch": batch},
+        workers=workers,
+    )
+    batch_sweep = run_sweep(
+        _fig7_batch_point,
+        SweepGrid.product(batch=tuple(batches)),
+        common=common,
+        workers=workers,
     )
 
+    base = scd_system(DEFAULT_SPU_BANDWIDTH)
+    gpu_system = build_gpu_system(base.n_accelerators)
+    gpu_report = _infer_report(gpu_system, model, batch, io_tokens)
+
+    pflops_per_pu = lambda r: r.achieved_flops_per_pu / 1e15  # noqa: E731
     return Fig7Result(
         bandwidths=tuple(bandwidths_tbps),
-        latencies=tuple(latencies),
+        latencies=bw_sweep.series("latency"),
         dram_latencies_ns=tuple(dram_latencies_ns),
-        latency_sweep_pflops_per_spu=tuple(sweep_pflops),
+        latency_sweep_pflops_per_spu=latency_sweep.series(pflops_per_pu),
         batches=tuple(batches),
-        batch_latencies=tuple(batch_lat),
-        batch_pflops_per_spu=tuple(batch_pflops),
+        batch_latencies=batch_sweep.series("latency"),
+        batch_pflops_per_spu=batch_sweep.series(pflops_per_pu),
         gpu_latency=gpu_report.latency,
         gpu_pflops_per_pu=gpu_report.achieved_flops_per_pu / 1e15,
     )
@@ -244,60 +298,58 @@ class Fig8Result:
     gpu_reports: tuple[InferenceReport, ...] = field(repr=False, default=())
 
 
+def _fig8_point(
+    model: LLMConfig,
+    batch: int,
+    io_tokens: tuple[int, int],
+    dram_bandwidth_per_spu: float,
+) -> tuple[InferenceReport, InferenceReport]:
+    """One Fig. 8 grid point: the (SPU, GPU) inference report pair."""
+    spu_system = scd_system(dram_bandwidth_per_spu)
+    gpu_system = build_gpu_system(spu_system.n_accelerators)
+    return (
+        _infer_report(spu_system, model, batch, io_tokens),
+        _infer_report(gpu_system, model, batch, io_tokens),
+    )
+
+
 def fig8_inference_speedup(
     models: tuple[LLMConfig, ...] = (MOE_132B, LLAMA_70B, LLAMA_405B),
     batches: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
     batch: int = 8,
     io_tokens: tuple[int, int] = (200, 200),
     dram_bandwidth_per_spu: float = DEFAULT_SPU_BANDWIDTH,
+    workers: int | None = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: per-model speed-ups and the Llama-405B batch sweep."""
-    spu_system = scd_system(dram_bandwidth_per_spu)
-    gpu_system = build_gpu_system(spu_system.n_accelerators)
-    spu_opt = Optimus(spu_system)
-    gpu_opt = Optimus(gpu_system)
+    common = {
+        "io_tokens": io_tokens,
+        "dram_bandwidth_per_spu": dram_bandwidth_per_spu,
+    }
+    model_sweep = run_sweep(
+        _fig8_point,
+        SweepGrid.product(model=models),
+        common={**common, "batch": batch},
+        workers=workers,
+    )
+    batch_sweep = run_sweep(
+        _fig8_point,
+        SweepGrid.product(batch=tuple(batches)),
+        common={**common, "model": LLAMA_405B},
+        workers=workers,
+    )
 
-    names = []
-    speedups = []
-    spu_reports = []
-    gpu_reports = []
-    for model in models:
-        spu_rep = spu_opt.evaluate_inference(
-            map_inference(system=spu_system, model=model, batch=batch,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        gpu_rep = gpu_opt.evaluate_inference(
-            map_inference(system=gpu_system, model=model, batch=batch,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        names.append(model.name)
-        speedups.append(gpu_rep.latency / spu_rep.latency)
-        spu_reports.append(spu_rep)
-        gpu_reports.append(gpu_rep)
-
-    batch_speedups = []
-    kv_sizes = []
-    for b in batches:
-        spu_rep = spu_opt.evaluate_inference(
-            map_inference(system=spu_system, model=LLAMA_405B, batch=b,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        gpu_rep = gpu_opt.evaluate_inference(
-            map_inference(system=gpu_system, model=LLAMA_405B, batch=b,
-                          input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-        )
-        batch_speedups.append(gpu_rep.latency / spu_rep.latency)
-        kv_sizes.append(spu_rep.kv_cache_bytes)
-
+    speedup = lambda pair: pair[1].latency / pair[0].latency  # noqa: E731
+    gpu_system = build_gpu_system(scd_system(dram_bandwidth_per_spu).n_accelerators)
     return Fig8Result(
-        model_names=tuple(names),
-        model_speedups=tuple(speedups),
+        model_names=tuple(model.name for model in models),
+        model_speedups=model_sweep.series(speedup),
         batches=tuple(batches),
-        batch_speedups=tuple(batch_speedups),
-        kv_cache_bytes=tuple(kv_sizes),
+        batch_speedups=batch_sweep.series(speedup),
+        kv_cache_bytes=batch_sweep.series(lambda pair: pair[0].kv_cache_bytes),
         gpu_memory_capacity=gpu_system.total_memory_capacity,
-        spu_reports=tuple(spu_reports),
-        gpu_reports=tuple(gpu_reports),
+        spu_reports=model_sweep.series(lambda pair: pair[0]),
+        gpu_reports=model_sweep.series(lambda pair: pair[1]),
     )
 
 

@@ -12,8 +12,8 @@ Fig. 8 inference speed-up (Llama-405B, B=8) — a tornado chart in data form.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
 
+from repro.analysis.sweep import SweepGrid, run_sweep
 from repro.arch.blade import build_blade
 from repro.arch.gpu import H100Specs, build_gpu_system
 from repro.arch.system import SystemSpec
@@ -87,72 +87,137 @@ def _speedup(
     return gpu_latency / scd_latency
 
 
+def _scd_system(
+    dram_bandwidth_per_spu: float, outstanding: float = 512 * KIB
+) -> SystemSpec:
+    blade = replace(build_blade(), dram_outstanding_bytes=outstanding)
+    return blade.system().with_dram_bandwidth(dram_bandwidth_per_spu)
+
+
+def _gpu_system(specs: H100Specs | None = None) -> SystemSpec:
+    return build_gpu_system(64, specs or H100Specs())
+
+
+def _perturb_gpu_low_ai(
+    setting: float, dram_bandwidth_per_spu: float
+) -> tuple[SystemSpec, SystemSpec]:
+    return (
+        _scd_system(dram_bandwidth_per_spu),
+        _gpu_system(H100Specs(stream_low_ai=setting)),
+    )
+
+
+def _perturb_ib_alpha(
+    setting: float, dram_bandwidth_per_spu: float
+) -> tuple[SystemSpec, SystemSpec]:
+    return (
+        _scd_system(dram_bandwidth_per_spu),
+        _gpu_system(H100Specs(ib_alpha=setting * US)),
+    )
+
+
+def _perturb_gpu_launch_overhead(
+    setting: float, dram_bandwidth_per_spu: float
+) -> tuple[SystemSpec, SystemSpec]:
+    return (
+        _scd_system(dram_bandwidth_per_spu),
+        _gpu_system(H100Specs(kernel_launch_overhead=setting * US)),
+    )
+
+
+def _perturb_scd_outstanding(
+    setting: float, dram_bandwidth_per_spu: float
+) -> tuple[SystemSpec, SystemSpec]:
+    return (
+        _scd_system(dram_bandwidth_per_spu, outstanding=setting * KIB),
+        _gpu_system(),
+    )
+
+
+#: (knob, low, high, system builder) — the single table defining each
+#: perturbation.  Ranges are deliberately generous (roughly ±2× around the
+#: calibration) so the result brackets any reasonable alternative
+#: calibration.
+PERTURBATIONS: tuple[tuple[str, float, float, object], ...] = (
+    ("GPU low-AI stream efficiency", 0.15, 0.45, _perturb_gpu_low_ai),
+    ("InfiniBand alpha (us)", 0.2, 1.0, _perturb_ib_alpha),
+    ("GPU kernel-launch overhead (us)", 0.0, 1.0, _perturb_gpu_launch_overhead),
+    ("SCD outstanding bytes (KiB)", 256.0, 2048.0, _perturb_scd_outstanding),
+)
+
+_BUILDERS = {name: builder for name, _, _, builder in PERTURBATIONS}
+
+
+def _perturbed_systems(
+    knob: str, setting: float, dram_bandwidth_per_spu: float
+) -> tuple[SystemSpec, SystemSpec]:
+    """The (SCD, GPU) system pair with one calibrated knob perturbed."""
+    try:
+        builder = _BUILDERS[knob]
+    except KeyError:
+        raise ValueError(f"unknown sensitivity knob {knob!r}") from None
+    return builder(setting, dram_bandwidth_per_spu)
+
+
+def _sensitivity_point(
+    knob: str,
+    setting: float,
+    model: LLMConfig,
+    batch: int,
+    io_tokens: tuple[int, int],
+    dram_bandwidth_per_spu: float,
+) -> float:
+    """Fig. 8 speed-up with one knob set to one perturbed value."""
+    scd, gpu = _perturbed_systems(knob, setting, dram_bandwidth_per_spu)
+    return _speedup(model, scd, gpu, batch, io_tokens)
+
+
 def inference_speedup_sensitivity(
     model: LLMConfig = LLAMA_405B,
     batch: int = 8,
     io_tokens: tuple[int, int] = (200, 200),
     dram_bandwidth_per_spu: float = 16 * TBPS,
+    workers: int | None = None,
 ) -> SensitivityResult:
-    """Perturb each calibrated knob and measure the Fig. 8 speed-up swing.
+    """Perturb each calibrated knob and measure the Fig. 8 speed-up swing."""
+    baseline = _speedup(
+        model,
+        _scd_system(dram_bandwidth_per_spu),
+        _gpu_system(),
+        batch,
+        io_tokens,
+    )
 
-    Ranges are deliberately generous (roughly ±2× around the calibration)
-    so the result brackets any reasonable alternative calibration.
-    """
-
-    def scd_system(outstanding: float = 512 * KIB) -> SystemSpec:
-        blade = replace(build_blade(), dram_outstanding_bytes=outstanding)
-        return blade.system().with_dram_bandwidth(dram_bandwidth_per_spu)
-
-    def gpu_system(specs: H100Specs = H100Specs()) -> SystemSpec:
-        return SystemSpec(
-            name="64x H100",
-            accelerator=__import__("repro.arch.gpu", fromlist=["h100_accelerator"]).h100_accelerator(specs),
-            n_accelerators=64,
-        )
-
-    baseline = _speedup(model, scd_system(), gpu_system(), batch, io_tokens)
-
-    perturbations: list[tuple[str, float, float, Callable[[float], tuple[SystemSpec, SystemSpec]]]] = [
-        (
-            "GPU low-AI stream efficiency",
-            0.15,
-            0.45,
-            lambda v: (scd_system(), gpu_system(H100Specs(stream_low_ai=v))),
+    # One (knob, setting) point per perturbation endpoint, driven as a
+    # lockstep grid: [knob1@low, knob1@high, knob2@low, ...].
+    grid = SweepGrid.zipped(
+        knob=tuple(name for name, _, _, _ in PERTURBATIONS for _ in range(2)),
+        setting=tuple(
+            v for _, low, high, _ in PERTURBATIONS for v in (low, high)
         ),
-        (
-            "InfiniBand alpha (us)",
-            0.2,
-            1.0,
-            lambda v: (scd_system(), gpu_system(H100Specs(ib_alpha=v * US))),
-        ),
-        (
-            "GPU kernel-launch overhead (us)",
-            0.0,
-            1.0,
-            lambda v: (
-                scd_system(),
-                gpu_system(H100Specs(kernel_launch_overhead=v * US)),
-            ),
-        ),
-        (
-            "SCD outstanding bytes (KiB)",
-            256.0,
-            2048.0,
-            lambda v: (scd_system(outstanding=v * KIB), gpu_system()),
-        ),
-    ]
+    )
+    sweep = run_sweep(
+        _sensitivity_point,
+        grid,
+        common={
+            "model": model,
+            "batch": batch,
+            "io_tokens": io_tokens,
+            "dram_bandwidth_per_spu": dram_bandwidth_per_spu,
+        },
+        workers=workers,
+    )
 
     entries = []
-    for name, low, high, build in perturbations:
-        scd_low, gpu_low = build(low)
-        scd_high, gpu_high = build(high)
+    for name, low, high, _ in PERTURBATIONS:
+        at_low, at_high = sweep.where(knob=name).values()
         entries.append(
             SensitivityEntry(
                 parameter=name,
                 low_setting=low,
                 high_setting=high,
-                speedup_at_low=_speedup(model, scd_low, gpu_low, batch, io_tokens),
-                speedup_at_high=_speedup(model, scd_high, gpu_high, batch, io_tokens),
+                speedup_at_low=at_low,
+                speedup_at_high=at_high,
                 baseline_speedup=baseline,
             )
         )

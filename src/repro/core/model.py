@@ -12,6 +12,14 @@
 Decode steps are timed exactly at ``decode_samples`` quantile context
 lengths and integrated — kernel times are piecewise-linear in context length,
 so a modest sample count reproduces the exact sum to float precision.
+
+Timing is driven by run-length-encoded op programs
+(:class:`~repro.workloads.operators.OpProgram`): each unique segment is
+timed once and scaled by its repeat count, and the per-kernel timings are
+memoized in a :class:`~repro.core.timing_cache.KernelTimingCache` shared
+across stages, decode samples and sweep points.  Cost is O(unique ops), not
+O(layers × ops), while the resulting numbers match the seed's flat per-op
+walk to float precision.
 """
 
 from __future__ import annotations
@@ -19,13 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.system import SystemSpec
-from repro.core.comm_perf import time_comm_kernel
 from repro.core.report import GEMMBreakdown, InferenceReport, TrainingReport
-from repro.core.roofline import Boundedness, time_compute_kernel
+from repro.core.roofline import Boundedness
+from repro.core.timing_cache import KernelTimingCache, default_timing_cache
 from repro.errors import require_positive
 from repro.parallel.mapper import MappedInference, MappedTraining
 from repro.parallel.pipeline import simulate_1f1b
-from repro.workloads.operators import ComputeKernel, Op
+from repro.workloads.operators import ComputeKernel, Op, OpProgram
 
 
 @dataclass(frozen=True)
@@ -42,69 +50,138 @@ class _OpListTiming:
     flops: float
 
 
-class Optimus:
-    """The analytical performance model bound to a system."""
+class _TimingAccumulator:
+    """Mutable accumulator behind :class:`_OpListTiming` construction."""
 
-    def __init__(self, system: SystemSpec, decode_samples: int = 9) -> None:
+    __slots__ = (
+        "timer",
+        "total",
+        "compute_kernel_time",
+        "comm_exposed_time",
+        "memory_bound_time",
+        "compute_bound_time",
+        "gemm_memory_bound_time",
+        "gemm_compute_bound_time",
+        "flops",
+    )
+
+    def __init__(self, timer) -> None:
+        self.timer = timer
+        self.total = 0.0
+        self.compute_kernel_time = 0.0
+        self.comm_exposed_time = 0.0
+        self.memory_bound_time = 0.0
+        self.compute_bound_time = 0.0
+        self.gemm_memory_bound_time = 0.0
+        self.gemm_compute_bound_time = 0.0
+        self.flops = 0.0
+
+    def add(self, op: Op, weight: float = 1.0) -> None:
+        """Account ``op`` executed ``weight`` times."""
+        if isinstance(op, ComputeKernel):
+            timing = self.timer.time_compute(op)
+            elapsed = timing.time * weight
+            self.total += elapsed
+            self.compute_kernel_time += elapsed
+            self.flops += op.flops * weight
+            if timing.bound is Boundedness.MEMORY:
+                self.memory_bound_time += elapsed
+                if op.is_gemm:
+                    self.gemm_memory_bound_time += elapsed
+            else:
+                self.compute_bound_time += elapsed
+                if op.is_gemm:
+                    self.gemm_compute_bound_time += elapsed
+        else:
+            timing = self.timer.time_comm(op)
+            exposed = timing.exposed_time * weight
+            self.total += exposed
+            self.comm_exposed_time += exposed
+
+    def freeze(self) -> _OpListTiming:
+        return _OpListTiming(
+            total=self.total,
+            compute_kernel_time=self.compute_kernel_time,
+            comm_exposed_time=self.comm_exposed_time,
+            memory_bound_time=self.memory_bound_time,
+            compute_bound_time=self.compute_bound_time,
+            gemm_memory_bound_time=self.gemm_memory_bound_time,
+            gemm_compute_bound_time=self.gemm_compute_bound_time,
+            flops=self.flops,
+        )
+
+
+class Optimus:
+    """The analytical performance model bound to a system.
+
+    Parameters
+    ----------
+    system:
+        The system under evaluation.
+    decode_samples:
+        Quantile context lengths at which decode steps are timed exactly.
+    cache:
+        Kernel-timing memo to use; defaults to the process-wide shared
+        cache.  Pass :class:`~repro.core.timing_cache.NullTimingCache` to
+        recompute every kernel timing (the seed's behavior).
+    use_programs:
+        When ``True`` (default), time run-length-encoded segments once and
+        scale by repeat count; when ``False``, walk the flattened op lists
+        kernel by kernel exactly as the seed did.  Both paths produce the
+        same numbers to float precision — the flag exists for equivalence
+        testing and benchmarking.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        decode_samples: int = 9,
+        cache: KernelTimingCache | None = None,
+        use_programs: bool = True,
+    ) -> None:
         require_positive("decode_samples", decode_samples)
         self.system = system
         self.accelerator = system.accelerator
         self.decode_samples = decode_samples
+        self.cache = cache if cache is not None else default_timing_cache()
+        self.use_programs = use_programs
+        self._timer = self.cache.bind(self.accelerator)
 
     # ------------------------------------------------------------------ utils
     def time_ops(self, ops: tuple[Op, ...] | list[Op]) -> _OpListTiming:
         """Time an op list executed serially on one accelerator."""
-        total = 0.0
-        compute_kernel_time = 0.0
-        comm_exposed = 0.0
-        mem_bound = 0.0
-        comp_bound = 0.0
-        gemm_mem = 0.0
-        gemm_comp = 0.0
-        flops = 0.0
+        acc = _TimingAccumulator(self._timer)
         for op in ops:
-            if isinstance(op, ComputeKernel):
-                timing = time_compute_kernel(op, self.accelerator)
-                total += timing.time
-                compute_kernel_time += timing.time
-                flops += op.flops
-                if timing.bound is Boundedness.MEMORY:
-                    mem_bound += timing.time
-                    if op.is_gemm:
-                        gemm_mem += timing.time
-                else:
-                    comp_bound += timing.time
-                    if op.is_gemm:
-                        gemm_comp += timing.time
-            else:
-                timing = time_comm_kernel(op, self.accelerator.fabric)
-                total += timing.exposed_time
-                comm_exposed += timing.exposed_time
-        return _OpListTiming(
-            total=total,
-            compute_kernel_time=compute_kernel_time,
-            comm_exposed_time=comm_exposed,
-            memory_bound_time=mem_bound,
-            compute_bound_time=comp_bound,
-            gemm_memory_bound_time=gemm_mem,
-            gemm_compute_bound_time=gemm_comp,
-            flops=flops,
-        )
+            acc.add(op)
+        return acc.freeze()
+
+    def time_program(self, program: OpProgram) -> _OpListTiming:
+        """Time an op program: each segment once, scaled by its repeat."""
+        acc = _TimingAccumulator(self._timer)
+        for segment in program.segments:
+            weight = float(segment.repeat)
+            for op in segment.ops:
+                acc.add(op, weight)
+        return acc.freeze()
+
+    def _time(self, program: OpProgram) -> _OpListTiming:
+        """Program timing honoring the ``use_programs`` equivalence switch."""
+        if self.use_programs:
+            return self.time_program(program)
+        return self.time_ops(program.flatten())
 
     # ------------------------------------------------------------- training
     def evaluate_training(self, mapped: MappedTraining) -> TrainingReport:
         """Time one training step (one global batch)."""
-        stage_fwd = [self.time_ops(ops) for ops in mapped.stage_fwd_ops]
-        stage_bwd = [self.time_ops(ops) for ops in mapped.stage_bwd_ops]
+        stage_fwd = [self._time(p) for p in mapped.stage_fwd_programs]
+        stage_bwd = [self._time(p) for p in mapped.stage_bwd_programs]
 
         p2p_time = 0.0
         if mapped.parallel.pipeline_parallel > 1:
             from repro.workloads.operators import point_to_point
 
             p2p_kernel = point_to_point("pp_boundary", mapped.p2p_bytes)
-            p2p_time = time_comm_kernel(
-                p2p_kernel, self.accelerator.fabric
-            ).time
+            p2p_time = self._timer.time_comm(p2p_kernel).time
 
         pipeline = simulate_1f1b(
             [t.total for t in stage_fwd],
@@ -115,9 +192,7 @@ class Optimus:
 
         dp_time = 0.0
         if mapped.dp_allreduce is not None:
-            dp_time = time_comm_kernel(
-                mapped.dp_allreduce, self.accelerator.fabric
-            ).exposed_time
+            dp_time = self._timer.time_comm(mapped.dp_allreduce).exposed_time
 
         update = self.time_ops(mapped.update_ops)
         time_per_batch = pipeline.total_time + dp_time + update.total
@@ -173,13 +248,15 @@ class Optimus:
     # ------------------------------------------------------------- inference
     def evaluate_inference(self, mapped: MappedInference) -> InferenceReport:
         """Time one inference request: prefill + ``output_tokens`` decode steps."""
-        prefill = self.time_ops(mapped.prefill_ops)
+        prefill = self._time(mapped.prefill_program)
 
-        contexts = mapped.decode_contexts()
-        n_steps = len(contexts)
+        n_steps = mapped.n_decode_steps
         k = min(self.decode_samples, n_steps)
         sample_idx = sorted({round(i * (n_steps - 1) / max(1, k - 1)) for i in range(k)})
-        samples = {idx: self.time_ops(mapped.decode_ops_at(contexts[idx])) for idx in sample_idx}
+        samples = {
+            idx: self._time_decode_step(mapped, mapped.decode_context_at(idx))
+            for idx in sample_idx
+        }
 
         # Piecewise-linear integration between sampled steps.
         decode_time = 0.0
@@ -230,6 +307,13 @@ class Optimus:
             memory_bound_kernel_time=prefill.memory_bound_time + decode_mem_bound,
             compute_bound_kernel_time=prefill.compute_bound_time + decode_comp_bound,
         )
+
+    def _time_decode_step(
+        self, mapped: MappedInference, context: int
+    ) -> _OpListTiming:
+        if self.use_programs:
+            return self.time_program(mapped.decode_program_at(context))
+        return self.time_ops(mapped.decode_ops_at(context))
 
 
 __all__ = ["Optimus"]

@@ -1,4 +1,9 @@
-"""Parameter-sweep utilities shared by the figure generators."""
+"""Legacy single-axis sweep helpers.
+
+Superseded by the declarative :mod:`repro.analysis.sweep` driver (grids,
+structured results, process fan-out), which now backs the figure
+generators; kept for downstream callers of the simple one-axis API.
+"""
 
 from __future__ import annotations
 

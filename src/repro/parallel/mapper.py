@@ -26,7 +26,9 @@ from repro.workloads.operators import (
     CommPattern,
     ComputeKernel,
     Op,
+    OpProgram,
     Phase,
+    Segment,
     all_reduce,
     optimizer_step,
 )
@@ -36,7 +38,6 @@ from repro.workloads.transformer import (
     embedding_ops,
     layer_forward_ops,
     lm_head_ops,
-    total_compute_flops,
 )
 
 #: Bytes of optimizer state per parameter (bf16 weights + grads, fp32 Adam
@@ -73,7 +74,14 @@ def _attach_residency(
 
 @dataclass(frozen=True)
 class MappedTraining:
-    """A training step mapped onto a system."""
+    """A training step mapped onto a system.
+
+    Stage op streams are carried as run-length-encoded
+    :class:`~repro.workloads.operators.OpProgram` objects (one layer's op
+    list with a multiplicity, not N replicas); the ``stage_fwd_ops`` /
+    ``stage_bwd_ops`` properties flatten them back to the seed
+    representation for consumers that want plain lists.
+    """
 
     model: LLMConfig
     system: SystemSpec
@@ -81,19 +89,32 @@ class MappedTraining:
     batch: int
     seq_len: int
     precision_bytes: float
-    stage_fwd_ops: tuple[tuple[Op, ...], ...]
-    stage_bwd_ops: tuple[tuple[Op, ...], ...]
+    stage_fwd_programs: tuple[OpProgram, ...]
+    stage_bwd_programs: tuple[OpProgram, ...]
     p2p_bytes: float
     n_microbatches: int
     dp_allreduce: CommKernel | None
     update_ops: tuple[Op, ...]
 
     @property
+    def stage_fwd_ops(self) -> tuple[tuple[Op, ...], ...]:
+        """Flattened per-stage forward op lists (seed representation)."""
+        return tuple(program.flatten() for program in self.stage_fwd_programs)
+
+    @property
+    def stage_bwd_ops(self) -> tuple[tuple[Op, ...], ...]:
+        """Flattened per-stage backward op lists (seed representation)."""
+        return tuple(program.flatten() for program in self.stage_bwd_programs)
+
+    @property
     def flops_per_batch(self) -> float:
-        """Useful FLOPs per global batch across the whole system (fwd+bwd)."""
+        """Useful FLOPs per global batch across the whole system (fwd+bwd).
+
+        Derived from program segment counts — O(unique ops), not
+        O(layers × ops)."""
         per_microbatch = sum(
-            total_compute_flops(list(stage))
-            for stage in self.stage_fwd_ops + self.stage_bwd_ops
+            program.compute_flops()
+            for program in self.stage_fwd_programs + self.stage_bwd_programs
         )
         replicas = self.parallel.data_parallel
         tp = self.parallel.tensor_parallel
@@ -116,7 +137,12 @@ class MappedTraining:
 
 @dataclass(frozen=True)
 class MappedInference:
-    """An inference request (prefill + decode) mapped onto a system."""
+    """An inference request (prefill + decode) mapped onto a system.
+
+    Prefill and decode-step kernel streams are run-length-encoded
+    :class:`~repro.workloads.operators.OpProgram` objects; ``prefill_ops``
+    and ``decode_ops_at`` flatten them back to the seed representation.
+    """
 
     model: LLMConfig
     system: SystemSpec
@@ -125,8 +151,17 @@ class MappedInference:
     input_tokens: int
     output_tokens: int
     precision_bytes: float
-    prefill_ops: tuple[Op, ...]
-    decode_ops_at: Callable[[int], tuple[Op, ...]] = field(repr=False)
+    prefill_program: OpProgram
+    decode_program_at: Callable[[int], OpProgram] = field(repr=False)
+
+    @property
+    def prefill_ops(self) -> tuple[Op, ...]:
+        """Flattened prefill op list (seed representation)."""
+        return self.prefill_program.flatten()
+
+    def decode_ops_at(self, context: int) -> tuple[Op, ...]:
+        """Flattened decode-step op list at ``context`` (seed representation)."""
+        return self.decode_program_at(context).flatten()
 
     @property
     def kv_cache_bytes(self) -> float:
@@ -150,11 +185,23 @@ class MappedInference:
         ceiling of Fig. 8b)."""
         return self.memory_required <= self.system.total_memory_capacity
 
-    def decode_contexts(self) -> list[int]:
-        """The context length at each decode step."""
-        return [
-            self.input_tokens + step for step in range(self.output_tokens)
-        ]
+    @property
+    def n_decode_steps(self) -> int:
+        """Number of decode steps (one per generated token)."""
+        return self.output_tokens
+
+    def decode_context_at(self, step: int) -> int:
+        """Context length at decode step ``step`` — O(1) arithmetic."""
+        if not 0 <= step < self.output_tokens:
+            raise IndexError(
+                f"decode step {step} out of range [0, {self.output_tokens})"
+            )
+        return self.input_tokens + step
+
+    def decode_contexts(self) -> range:
+        """The context length at each decode step (an O(1) lazy range, not
+        an ``output_tokens``-length list)."""
+        return range(self.input_tokens, self.input_tokens + self.output_tokens)
 
 
 def map_training(
@@ -187,30 +234,31 @@ def map_training(
     layer_fwd = _attach_residency(layer_forward_ops(model, shape), weight_resident)
     layer_bwd = _attach_residency(backward_ops(layer_fwd), weight_resident)
 
-    stage_fwd: list[tuple[Op, ...]] = []
-    stage_bwd: list[tuple[Op, ...]] = []
+    stage_fwd: list[OpProgram] = []
+    stage_bwd: list[OpProgram] = []
     layer_counts = parallel.layers_per_stage(model.n_layers)
     for stage, n_layers in enumerate(layer_counts):
-        fwd: list[Op] = []
-        bwd: list[Op] = []
+        fwd_segments: list[Segment] = []
+        bwd_segments: list[Segment] = []
         if stage == 0:
             emb = _attach_residency(
                 embedding_ops(model, shape.n_tokens, precision_bytes),
                 weight_resident,
             )
-            fwd.extend(emb)
-            bwd.extend(backward_ops(emb))
-        fwd.extend(op for _ in range(n_layers) for op in layer_fwd)
-        bwd.extend(op for _ in range(n_layers) for op in layer_bwd)
+            fwd_segments.append(Segment(tuple(emb)))
+            bwd_segments.append(Segment(tuple(backward_ops(emb))))
+        if n_layers > 0:
+            fwd_segments.append(Segment(tuple(layer_fwd), repeat=n_layers))
+            bwd_segments.append(Segment(tuple(layer_bwd), repeat=n_layers))
         if stage == len(layer_counts) - 1:
             head = _attach_residency(
                 lm_head_ops(model, shape.n_tokens, tp, precision_bytes),
                 weight_resident,
             )
-            fwd.extend(head)
-            bwd.extend(backward_ops(head))
-        stage_fwd.append(tuple(fwd))
-        stage_bwd.append(tuple(bwd))
+            fwd_segments.append(Segment(tuple(head)))
+            bwd_segments.append(Segment(tuple(backward_ops(head))))
+        stage_fwd.append(OpProgram(tuple(fwd_segments)))
+        stage_bwd.append(OpProgram(tuple(bwd_segments)))
 
     n_micro = parallel.n_microbatches(batch)
     p2p_bytes = shape.n_tokens * model.hidden * precision_bytes
@@ -243,8 +291,8 @@ def map_training(
         batch=batch,
         seq_len=seq,
         precision_bytes=precision_bytes,
-        stage_fwd_ops=tuple(stage_fwd),
-        stage_bwd_ops=tuple(stage_bwd),
+        stage_fwd_programs=tuple(stage_fwd),
+        stage_bwd_programs=tuple(stage_bwd),
         p2p_bytes=p2p_bytes,
         n_microbatches=n_micro,
         dp_allreduce=dp_comm,
@@ -294,14 +342,37 @@ def map_inference(
         tp=tp,
         bytes_per_element=precision_bytes,
     )
-    prefill: list[Op] = []
-    prefill.extend(embedding_ops(model, prefill_shape.n_tokens, precision_bytes, Phase.PREFILL))
-    layer = layer_forward_ops(model, prefill_shape, Phase.PREFILL)
-    prefill.extend(op for _ in range(model.n_layers) for op in layer)
-    prefill.extend(lm_head_ops(model, batch, tp, precision_bytes, Phase.PREFILL))
-    prefill = _attach_residency(prefill, weight_resident, kv_resident)
 
-    def decode_ops_at(context: int) -> tuple[Op, ...]:
+    def phase_program(shape: LayerShape, n_tokens: int, phase: Phase) -> OpProgram:
+        """Embedding + RLE layer span + LM head, with residency attached."""
+        emb = _attach_residency(
+            embedding_ops(model, n_tokens, precision_bytes, phase),
+            weight_resident,
+            kv_resident,
+        )
+        layer = _attach_residency(
+            layer_forward_ops(model, shape, phase),
+            weight_resident,
+            kv_resident,
+        )
+        head = _attach_residency(
+            lm_head_ops(model, batch, tp, precision_bytes, phase),
+            weight_resident,
+            kv_resident,
+        )
+        return OpProgram(
+            (
+                Segment(tuple(emb)),
+                Segment(tuple(layer), repeat=model.n_layers),
+                Segment(tuple(head)),
+            )
+        )
+
+    prefill_program = phase_program(
+        prefill_shape, prefill_shape.n_tokens, Phase.PREFILL
+    )
+
+    def decode_program_at(context: int) -> OpProgram:
         shape = LayerShape(
             n_tokens=batch,
             batch_seqs=batch,
@@ -309,12 +380,7 @@ def map_inference(
             tp=tp,
             bytes_per_element=precision_bytes,
         )
-        ops: list[Op] = []
-        ops.extend(embedding_ops(model, batch, precision_bytes, Phase.DECODE))
-        step_layer = layer_forward_ops(model, shape, Phase.DECODE)
-        ops.extend(op for _ in range(model.n_layers) for op in step_layer)
-        ops.extend(lm_head_ops(model, batch, tp, precision_bytes, Phase.DECODE))
-        return tuple(_attach_residency(ops, weight_resident, kv_resident))
+        return phase_program(shape, batch, Phase.DECODE)
 
     return MappedInference(
         model=model,
@@ -324,8 +390,8 @@ def map_inference(
         input_tokens=input_tokens,
         output_tokens=output_tokens,
         precision_bytes=precision_bytes,
-        prefill_ops=tuple(prefill),
-        decode_ops_at=decode_ops_at,
+        prefill_program=prefill_program,
+        decode_program_at=decode_program_at,
     )
 
 

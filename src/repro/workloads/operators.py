@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.errors import require_non_negative, require_positive
 
@@ -184,6 +185,86 @@ class CommKernel:
 
 #: Union type for task-graph entries.
 Op = ComputeKernel | CommKernel
+
+
+# ---------------------------------------------------------------------------
+# Op programs: run-length-encoded kernel streams
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Segment:
+    """A run-length-encoded span of an op program: ``ops`` executed
+    ``repeat`` times back to back.
+
+    A pipeline stage holding 8 identical transformer layers stores one
+    layer's op list with ``repeat=8`` instead of 8 copies — the timing
+    engine times the span once and scales, turning per-stage cost from
+    O(layers × ops) into O(ops).
+    """
+
+    ops: tuple[Op, ...]
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive("repeat", self.repeat)
+        if not isinstance(self.ops, tuple):
+            object.__setattr__(self, "ops", tuple(self.ops))
+
+    @property
+    def n_ops(self) -> int:
+        """Flattened op count of the span."""
+        return len(self.ops) * self.repeat
+
+    def compute_flops(self) -> float:
+        """FLOPs over compute kernels in the span (collectives excluded)."""
+        return self.repeat * sum(
+            op.flops for op in self.ops if isinstance(op, ComputeKernel)
+        )
+
+    def flatten(self) -> tuple[Op, ...]:
+        """The fully replicated op stream (seed representation)."""
+        return self.ops * self.repeat
+
+
+@dataclass(frozen=True)
+class OpProgram:
+    """An ordered sequence of run-length-encoded segments.
+
+    This is what :class:`~repro.parallel.mapper.MappedTraining` /
+    ``MappedInference`` carry per stage; ``flatten()`` recovers the seed's
+    one-op-per-replica list for consumers that need it.
+    """
+
+    segments: tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.segments, tuple):
+            object.__setattr__(self, "segments", tuple(self.segments))
+
+    @classmethod
+    def from_ops(cls, ops: Sequence[Op], repeat: int = 1) -> "OpProgram":
+        """Wrap a plain op list as a single-segment program."""
+        return cls(segments=(Segment(ops=tuple(ops), repeat=repeat),))
+
+    @property
+    def n_ops(self) -> int:
+        """Flattened op count."""
+        return sum(segment.n_ops for segment in self.segments)
+
+    @property
+    def n_unique_ops(self) -> int:
+        """Ops the timing engine actually visits (one per segment entry)."""
+        return sum(len(segment.ops) for segment in self.segments)
+
+    def compute_flops(self) -> float:
+        """FLOPs over compute kernels (collectives excluded)."""
+        return sum(segment.compute_flops() for segment in self.segments)
+
+    def flatten(self) -> tuple[Op, ...]:
+        """The fully replicated op stream (seed representation)."""
+        flat: list[Op] = []
+        for segment in self.segments:
+            flat.extend(segment.flatten())
+        return tuple(flat)
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +465,8 @@ __all__ = [
     "ComputeKernel",
     "CommKernel",
     "Op",
+    "Segment",
+    "OpProgram",
     "gemm",
     "softmax",
     "layernorm",

@@ -1,0 +1,81 @@
+"""Figure-level seed equivalence: the timing engine must be invisible.
+
+``tests/data/seed_figures_golden.json`` holds every Fig. 5–8 series as
+produced by the seed's flat, uncached timing path (captured before the
+op-program engine landed).  The engine rewrite is a pure performance
+change, so regenerating the figures must reproduce those numbers within
+1e-9 relative tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import (
+    fig5_training_bandwidth_sweep,
+    fig6_training_models,
+    fig7_inference,
+    fig8_inference_speedup,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "seed_figures_golden.json"
+
+REL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def assert_series(actual, expected):
+    assert len(actual) == len(expected)
+    assert tuple(actual) == pytest.approx(tuple(expected), rel=REL)
+
+
+class TestSeedEquivalence:
+    def test_fig5_series_match_seed(self, golden):
+        fig5 = fig5_training_bandwidth_sweep()
+        g = golden["fig5"]
+        assert_series(fig5.bandwidths, g["bandwidths"])
+        assert_series(fig5.achieved_pflops_per_spu, g["achieved_pflops_per_spu"])
+        assert_series(fig5.gemm_time_per_layer, g["gemm_time_per_layer"])
+        assert_series(fig5.gemm_memory_bound_time, g["gemm_memory_bound_time"])
+        assert_series(fig5.gemm_compute_bound_time, g["gemm_compute_bound_time"])
+
+    def test_fig6_series_match_seed(self, golden):
+        fig6 = fig6_training_models()
+        g = golden["fig6"]
+        assert [e.model_name for e in fig6.entries] == g["models"]
+        assert_series(
+            [e.spu.time_per_batch for e in fig6.entries], g["spu_time_per_batch"]
+        )
+        assert_series(
+            [e.gpu.time_per_batch for e in fig6.entries], g["gpu_time_per_batch"]
+        )
+        assert_series(fig6.speedups, g["speedups"])
+
+    def test_fig7_series_match_seed(self, golden):
+        fig7 = fig7_inference()
+        g = golden["fig7"]
+        assert_series(fig7.latencies, g["latencies"])
+        assert_series(
+            fig7.latency_sweep_pflops_per_spu, g["latency_sweep_pflops_per_spu"]
+        )
+        assert_series(fig7.batch_latencies, g["batch_latencies"])
+        assert_series(fig7.batch_pflops_per_spu, g["batch_pflops_per_spu"])
+        assert fig7.gpu_latency == pytest.approx(g["gpu_latency"], rel=REL)
+        assert fig7.gpu_pflops_per_pu == pytest.approx(
+            g["gpu_pflops_per_pu"], rel=REL
+        )
+
+    def test_fig8_series_match_seed(self, golden):
+        fig8 = fig8_inference_speedup()
+        g = golden["fig8"]
+        assert list(fig8.model_names) == g["model_names"]
+        assert_series(fig8.model_speedups, g["model_speedups"])
+        assert_series(fig8.batch_speedups, g["batch_speedups"])
+        assert_series(fig8.kv_cache_bytes, g["kv_cache_bytes"])

@@ -100,7 +100,26 @@ class TestInferenceMapping:
         mapped = map_inference(
             LLAMA_405B, scd_system_16tbps, batch=8, input_tokens=200, output_tokens=5
         )
-        assert mapped.decode_contexts() == [200, 201, 202, 203, 204]
+        assert list(mapped.decode_contexts()) == [200, 201, 202, 203, 204]
+
+    def test_decode_contexts_constant_space(self, scd_system_16tbps):
+        """decode_contexts is O(1): no output_tokens-length list materialized."""
+        mapped = map_inference(
+            LLAMA_405B,
+            scd_system_16tbps,
+            batch=8,
+            input_tokens=200,
+            output_tokens=10**9,
+        )
+        contexts = mapped.decode_contexts()
+        assert isinstance(contexts, range)
+        assert len(contexts) == 10**9
+        assert contexts[0] == 200
+        assert contexts[-1] == 200 + 10**9 - 1
+        assert mapped.decode_context_at(0) == 200
+        assert mapped.decode_context_at(10**9 - 1) == 200 + 10**9 - 1
+        with pytest.raises(IndexError):
+            mapped.decode_context_at(10**9)
 
     def test_kv_cache_at_context_window(self, scd_system_16tbps):
         mapped = map_inference(LLAMA_405B, scd_system_16tbps, batch=8)

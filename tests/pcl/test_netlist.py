@@ -141,3 +141,63 @@ class TestMetrics:
         netlist = half_adder_netlist()
         order = netlist.topological_instances()
         assert len(order) == len(netlist.instances)
+
+
+class TestTopologicalMemoization:
+    def test_repeated_calls_reuse_cached_order(self, monkeypatch):
+        netlist = half_adder_netlist()
+        first = netlist.topological_instances()
+        # A second call must be served from the memo: poison the sorter.
+        monkeypatch.setattr(
+            netlist,
+            "_topological_sort",
+            lambda: pytest.fail("Kahn's sort re-ran on an unmutated netlist"),
+        )
+        second = netlist.topological_instances()
+        assert second == first
+
+    def test_returns_fresh_list_each_call(self):
+        netlist = half_adder_netlist()
+        first = netlist.topological_instances()
+        first.append(None)  # caller-side mutation must not corrupt the memo
+        assert None not in netlist.topological_instances()
+
+    def test_in_place_mutation_invalidates(self):
+        netlist = half_adder_netlist()
+        before = netlist.topological_instances()
+        # Builder-style in-place growth: AND the two existing outputs.
+        new = Instance(
+            uid=99,
+            cell="and2",
+            inputs=(netlist.outputs[0], netlist.outputs[1]),
+            outputs=(Net(uid=990, name="extra"),),
+        )
+        netlist.instances.append(new)
+        after = netlist.topological_instances()
+        assert len(after) == len(before) + 1
+        assert new in after
+
+    def test_explicit_invalidation(self):
+        netlist = half_adder_netlist()
+        netlist.topological_instances()
+        assert netlist._topo_cache is not None
+        netlist.invalidate_caches()
+        assert netlist._topo_cache is None
+        # And the next call recomputes without error.
+        assert len(netlist.topological_instances()) == len(netlist.instances)
+
+    def test_cycle_still_detected(self):
+        b = NetlistBuilder("loop")
+        a = b.input("a")
+        n1 = b.net("n1")
+        n2 = b.net("n2")
+        cyc1 = Instance(uid=100, cell="and2", inputs=(a, n2), outputs=(n1,))
+        cyc2 = Instance(uid=101, cell="and2", inputs=(a, n1), outputs=(n2,))
+        netlist = Netlist(
+            name="loop", inputs=[a], outputs=[n1], instances=[cyc1, cyc2]
+        )
+        with pytest.raises(NetlistError):
+            netlist.topological_instances()
+        # The failed sort must not poison the cache.
+        with pytest.raises(NetlistError):
+            netlist.topological_instances()
