@@ -3,20 +3,22 @@
 
 Uses the library as a downstream architect would:
 
-* search parallelization strategies for GPT3-76B on the blade (the paper's
-  "we assess the most optimal mapping"),
+* rank parallelization strategies for GPT3-76B on the blade via the
+  registered `dse` scenario (the paper's "we assess the most optimal
+  mapping"; strategy candidates fan out through the sweep driver),
 * scale the blade (4x4 ... 10x10 SPUs; the paper caps at ~100 per blade),
 * trade datalink wire count against achieved training throughput.
 
-The grid studies run through the declarative ``repro.analysis.sweep``
-driver; pass ``--workers N`` to fan them out over worker processes.
+The custom grid studies run through the declarative ``repro.analysis.sweep``
+driver; pass ``--workers N`` to fan everything out over worker processes.
 
 Run:  python examples/design_space_exploration.py [--workers N]
 """
 
 import argparse
 
-from repro.analysis.figures import TRAINING_PARALLEL, scd_system
+from repro import scenarios
+from repro.analysis.figures import TRAINING_PARALLEL
 from repro.analysis.sweep import SweepGrid, run_sweep
 from repro.arch import build_blade
 from repro.core import Optimus, search_strategies
@@ -26,20 +28,19 @@ from repro.units import TBPS
 from repro.workloads import GPT3_76B
 
 
-def strategy_search() -> None:
+def strategy_search(workers: int | None = None) -> None:
     """Rank (TP, PP, DP) decompositions for GPT3-76B on 64 SPUs."""
-    system = scd_system(16 * TBPS)
-    results = search_strategies(GPT3_76B, system, batch=64)
+    result = scenarios.get("dse").run(workers=workers)
     print("=== Strategy search: GPT3-76B, B=64, 64 SPUs @16 TBps ===")
     print(f"{'TP':>3s} {'PP':>3s} {'DP':>3s} {'s/batch':>9s} {'PF/SPU':>7s}")
-    for result in results[:8]:
-        p = result.parallel
+    for entry in result.strategies[:8]:
+        p = entry.parallel
         print(
             f"{p.tensor_parallel:3d} {p.pipeline_parallel:3d} "
-            f"{p.data_parallel:3d} {result.time_per_batch:9.3f} "
-            f"{result.report.achieved_flops_per_pu / 1e15:7.2f}"
+            f"{p.data_parallel:3d} {entry.time_per_batch:9.3f} "
+            f"{entry.report.achieved_flops_per_pu / 1e15:7.2f}"
         )
-    best = results[0].parallel
+    best = result.strategies[0].parallel
     print(
         f"best: TP={best.tensor_parallel} PP={best.pipeline_parallel} "
         f"DP={best.data_parallel} (paper's fixed setup is TP=8/PP=8/DP=1)"
@@ -121,7 +122,7 @@ def main() -> None:
         help="fan sweep grids out over N worker processes (default: serial)",
     )
     args = parser.parse_args()
-    strategy_search()
+    strategy_search(workers=args.workers)
     blade_scaling(workers=args.workers)
     datalink_scaling(workers=args.workers)
 

@@ -3,22 +3,23 @@
 
 1. Power breakdown (Sec. III: "a more detailed look into the power
    breakdown ... will be pursued as future work"),
-2. multi-blade scaling (Sec. VII: "we expect the performance to scale with
-   the number of blades"),
+2. multi-blade scaling via the registered `multi-blade-scaling` scenario
+   (Sec. VII: "we expect the performance to scale with the number of
+   blades"),
 3. LLM inference out of a huge JSRAM pool (Sec. VII: "exploiting its
    massive bandwidth and negligible latency").
 
 Run:  python examples/future_work_studies.py
 """
 
+from repro import scenarios
 from repro.analysis.figures import jsram_main_memory_study
 from repro.arch import build_blade, build_gpu_system
-from repro.arch.multi_blade import build_multi_blade
 from repro.core import Optimus
 from repro.parallel import ParallelConfig, map_training
 from repro.power import CoolingModel, gpu_power_model, scd_power_model
 from repro.units import TBPS
-from repro.workloads import GPT3_175B, GPT3_76B
+from repro.workloads import GPT3_175B
 
 
 def power_study() -> None:
@@ -66,16 +67,17 @@ def power_study() -> None:
 
 def multi_blade_study() -> None:
     print("\n=== 2. Multi-blade scaling: GPT3-76B training (DP across blades) ===")
-    print(f"{'blades':>7s} {'SPUs':>5s} {'s/batch':>9s} {'tokens/s':>11s}")
-    for n_blades in (1, 2, 4, 8):
-        system = build_multi_blade(n_blades).system().with_dram_bandwidth(16 * TBPS)
-        parallel = ParallelConfig(8, 8, n_blades)
-        report = Optimus(system).evaluate_training(
-            map_training(GPT3_76B, system, parallel, 64 * n_blades)
-        )
+    result = scenarios.get("multi-blade-scaling").run()
+    print(f"{'blades':>7s} {'batch':>6s} {'s/batch':>9s} {'tokens/s':>11s}")
+    for n_blades, batch, time_per_batch, tokens_per_second in zip(
+        result.axis("system.n_blades"),
+        result.axis("workload.batch"),
+        result.series("time_per_batch"),
+        result.series("tokens_per_second"),
+    ):
         print(
-            f"{n_blades:7d} {system.n_accelerators:5d} "
-            f"{report.time_per_batch:9.3f} {report.tokens_per_second:11,.0f}"
+            f"{n_blades:7d} {batch:6d} "
+            f"{time_per_batch:9.3f} {tokens_per_second:11,.0f}"
         )
     print("Near-linear throughput scaling: each blade carries its own "
           "cryo-DRAM pool\nand only gradients cross the optical inter-blade links.")

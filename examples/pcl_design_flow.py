@@ -6,6 +6,10 @@ the PCL standard-cell library, converted to dual rail, legalized with
 splitters, phase-balanced, placed — and then *functionally verified* by
 simulating the final netlist against reference arithmetic.
 
+The summary table is the same artifact the registered `pcl-flow` scenario
+renders (`python -m repro run pcl-flow`); here the flow runs once and the
+resulting netlists feed both the table and the verification.
+
 The headline design is the bf16 MAC: its datapath lands near the paper's
 "~8k JJs" (Sec. III), which in turn sizes the SPU compute die.
 
@@ -14,6 +18,7 @@ Run:  python examples/pcl_design_flow.py
 
 import random
 
+from repro.analysis.tables import PCL_FLOW_HEADERS, pcl_flow_table, render_columns
 from repro.eda import designs, run_flow
 from repro.pcl.simulate import simulate_bus
 
@@ -59,16 +64,11 @@ def verify_mac(report) -> str:
 
 
 def main() -> None:
-    print(f"{'design':14s} {'datapath JJ':>12s} {'total JJ':>9s} "
-          f"{'phases':>7s} {'area mm2':>9s}")
-    reports = {}
-    for name, generator in designs.DESIGN_DATABASE.items():
-        report = run_flow(generator())
-        reports[name] = report
-        print(
-            f"{name:14s} {report.datapath_jj:12d} {report.total_jj:9d} "
-            f"{report.pipeline_depth:7d} {report.area / 1e-6:9.4f}"
-        )
+    reports = {
+        name: run_flow(generator())
+        for name, generator in designs.DESIGN_DATABASE.items()
+    }
+    print(render_columns(pcl_flow_table(reports), PCL_FLOW_HEADERS))
 
     print("\nFunctional verification of the legalized netlists:")
     print(f"  adder8     : {verify_adder(reports['adder8'])}")

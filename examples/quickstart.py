@@ -1,45 +1,32 @@
 #!/usr/bin/env python3
 """Quickstart: build the SCD blade, project LLM training and inference.
 
-Walks the library's main path in ~40 lines:
+Walks the library's main path entirely through the declarative scenario API
+(`repro.scenarios`):
 
-1. assemble the paper's baseline blade (Fig. 3c) bottom-up,
-2. map GPT3-76B training onto it (TP=8 / PP=8 / DP=1),
-3. evaluate with the Optimus performance model,
-4. compare against an equal number of H100 GPUs.
+1. render the paper's baseline blade spec (Fig. 3c) from the registry,
+2. run the registered GPT3-76B training comparison (SCD blade vs 64 H100s),
+3. run the registered Llama-405B inference comparison.
+
+Every step is a named scenario — the same specs `python -m repro run
+quickstart-training` executes — so the whole experiment is serializable
+data: `scenarios.get("quickstart-training").to_json()` is the entire setup.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.arch import build_blade, build_gpu_system
-from repro.core import Optimus
-from repro.parallel import ParallelConfig, map_inference, map_training
-from repro.workloads import GPT3_76B, LLAMA_405B
-from repro.units import TBPS
+from repro import scenarios
 
 
 def main() -> None:
     # 1. The SCD blade: 8x8 SPUs, 2 TB cryo-DRAM, 30 TBps datalink.
-    blade = build_blade()
-    print("=== SCD blade (Fig. 3c baseline) ===")
-    for name, value in blade.spec_rows():
-        print(f"  {name:40s} {value}")
+    print(scenarios.get("fig3c-blade-spec").run().render())
 
-    # The paper's headline experiments run at 16 TBps effective per SPU.
-    scd = blade.system().with_dram_bandwidth(16 * TBPS)
-    gpu = build_gpu_system(scd.n_accelerators)
-
-    # 2-3. Training projection: GPT3-76B, batch 64, bf16.
-    parallel = ParallelConfig(tensor_parallel=8, pipeline_parallel=8)
-    scd_report = Optimus(scd).evaluate_training(
-        map_training(GPT3_76B, scd, parallel, batch=64)
-    )
-    gpu_report = Optimus(gpu).evaluate_training(
-        map_training(GPT3_76B, gpu, parallel, batch=64)
-    )
-
+    # 2-3. Training projection: GPT3-76B, batch 64, bf16, TP=8/PP=8.
+    training = scenarios.get("quickstart-training").run()
+    outcome = training.outcomes()[0]
     print("\n=== GPT3-76B training, batch 64 ===")
-    for label, report in (("SCD blade", scd_report), ("64x H100", gpu_report)):
+    for label, report in (("SCD blade", outcome.report), ("64x H100", outcome.ref_report)):
         parts = report.breakdown()
         print(
             f"  {label:10s} {report.time_per_batch * 1e3:8.1f} ms/batch "
@@ -49,23 +36,19 @@ def main() -> None:
             f"{report.achieved_flops_per_pu / 1e15:.2f} PFLOP/s per unit"
         )
     print(
-        f"  SCD speed-up: "
-        f"{gpu_report.time_per_batch / scd_report.time_per_batch:.2f}x "
+        f"  SCD speed-up: {training.series('speedup')[0]:.2f}x "
         f"(paper band: 3.5-4.4x)"
     )
 
     # 4. Inference projection: Llama-405B, batch 8, 200/200 tokens.
-    scd_inf = Optimus(scd).evaluate_inference(
-        map_inference(LLAMA_405B, scd, batch=8)
-    )
-    gpu_inf = Optimus(gpu).evaluate_inference(
-        map_inference(LLAMA_405B, gpu, batch=8)
-    )
+    inference = scenarios.get("quickstart-inference").run()
+    scd_inf = inference.outcomes()[0].report
+    gpu_inf = inference.outcomes()[0].ref_report
     print("\n=== Llama-405B inference, batch 8, I/O 200/200 ===")
     print(f"  SCD blade  {scd_inf.latency:6.3f} s  ({scd_inf.tokens_per_second:,.0f} tok/s)")
     print(f"  64x H100   {gpu_inf.latency:6.3f} s  ({gpu_inf.tokens_per_second:,.0f} tok/s)")
     print(
-        f"  SCD speed-up: {gpu_inf.latency / scd_inf.latency:.1f}x "
+        f"  SCD speed-up: {inference.series('speedup')[0]:.1f}x "
         f"(paper band: 9-11x)"
     )
 

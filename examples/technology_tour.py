@@ -8,16 +8,16 @@ Walks the bottom-up derivation chain of the paper:
   datalink wires -> 30 TBps main-memory bandwidth -> 0.47 TBps/SPU
   bump field -> 73 TBps SPU-to-SPU links
 
+The paper's tables come from the scenario registry (`table1`,
+`fig2b-datalink`, `fig3c-blade-spec` — the same artifacts
+`python -m repro run table1` prints); the intermediate device/die numbers
+are read straight off the technology models.
+
 Run:  python examples/technology_tour.py
 """
 
-from repro.arch import ComputeDie, build_blade
-from repro.analysis.tables import (
-    blade_spec_table,
-    datalink_table,
-    render_two_column,
-    table1_technology,
-)
+from repro import scenarios
+from repro.arch import ComputeDie
 from repro.interconnect.packaging import chip_to_chip_link, interposer_4k
 from repro.memory.jsram import HD_1R1W, JSRAMDie
 from repro.tech.device import JosephsonJunction
@@ -25,8 +25,7 @@ from repro.units import AJ, PS
 
 
 def main() -> None:
-    print("=== Table I: technology comparison ===")
-    print(table1_technology())
+    print(scenarios.get("table1").run().render())
 
     jj = JosephsonJunction()
     print("\n=== Device level ===")
@@ -46,9 +45,8 @@ def main() -> None:
     print(f"  HD cell             : {HD_1R1W.jj_count} JJ, {HD_1R1W.area / 1e-12:.2f} um2")
     print(f"  HD die capacity     : {jdie.capacity_bytes / 1e6:.1f} MB usable")
 
-    print("\n=== Fig. 2b: 4K-77K main-memory datalink ===")
-    for name, down, up in datalink_table():
-        print(f"  {name:16s} {down:34s} {up}")
+    print()
+    print(scenarios.get("fig2b-datalink").run().render())
 
     c2c, interposer = chip_to_chip_link(), interposer_4k()
     print("\n=== Fig. 3c packaging tables ===")
@@ -61,8 +59,8 @@ def main() -> None:
         f"{interposer.bandwidth / 1e15:.2f} PBps"
     )
 
-    print("\n=== Fig. 3c: assembled blade baseline ===")
-    print(render_two_column(blade_spec_table(build_blade()), ("Parameter", "Baseline Value")))
+    print()
+    print(scenarios.get("fig3c-blade-spec").run().render())
 
 
 if __name__ == "__main__":

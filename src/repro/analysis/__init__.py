@@ -21,6 +21,9 @@ from repro.analysis.sweep import SweepGrid, SweepPoint, SweepResult, run_sweep
 from repro.analysis.tables import (
     blade_spec_table,
     datalink_table,
+    pcl_flow_table,
+    render_columns,
+    render_two_column,
     table1_technology,
 )
 
@@ -42,4 +45,7 @@ __all__ = [
     "table1_technology",
     "datalink_table",
     "blade_spec_table",
+    "pcl_flow_table",
+    "render_columns",
+    "render_two_column",
 ]

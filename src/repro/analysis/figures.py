@@ -5,26 +5,27 @@ paper's exact experimental setup and returns the series; the benchmark suite
 asserts the paper's qualitative claims on them, and ``EXPERIMENTS.md``
 records paper-vs-measured values.
 
-The sweeps run through the declarative :mod:`repro.analysis.sweep` driver
-(grid in, structured series out) rather than hand-rolled per-figure loops;
-pass ``workers=N`` to any generator to fan the grid out over worker
-processes.  Serial runs share the process-wide kernel-timing cache, which
-keeps even the 200-token decode sweeps in the tens of milliseconds.
+The figures are expressed as declarative :mod:`repro.scenarios` specs (the
+same specs registered for ``python -m repro run fig5`` etc.): each generator
+builds its scenario from the registry's parameterized builders, executes it
+through :func:`repro.scenarios.runner.run_scenario` — the one path that
+routes every experiment through the sweep driver, the mapping cache and the
+memoized timing engine — and reshapes the extracted series into the
+figure-result dataclasses.  Pass ``workers=N`` to any generator to fan the
+grid out over worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.sweep import SweepGrid, run_sweep
 from repro.arch.blade import build_blade
-from repro.arch.gpu import build_gpu_system
+from repro.arch.config import gpu_config
 from repro.arch.system import SystemSpec
-from repro.core.model import Optimus
 from repro.core.report import InferenceReport, TrainingReport
-from repro.parallel.mapper import map_inference, map_training
+from repro.parallel.mapper import map_inference
 from repro.parallel.strategy import ParallelConfig
-from repro.units import GB, NS, TBPS
+from repro.units import GB, TBPS
 from repro.workloads.llm import (
     GPT3_175B,
     GPT3_18B,
@@ -70,15 +71,6 @@ class Fig5Result:
     reports: tuple[TrainingReport, ...] = field(repr=False, default=())
 
 
-def _fig5_point(
-    bandwidth_tbps: float, batch: int, model: LLMConfig
-) -> TrainingReport:
-    """One Fig. 5 grid point: train at the given DRAM bandwidth per SPU."""
-    system = scd_system(bandwidth_tbps * TBPS)
-    mapped = map_training(model, system, TRAINING_PARALLEL, batch)
-    return Optimus(system).evaluate_training(mapped)
-
-
 def fig5_training_bandwidth_sweep(
     bandwidths_tbps: tuple[float, ...] = (0.5, 1, 2, 4, 8, 16, 32, 64),
     batch: int = 128,
@@ -86,25 +78,21 @@ def fig5_training_bandwidth_sweep(
     workers: int | None = None,
 ) -> Fig5Result:
     """Reproduce Fig. 5 (+ inset): bandwidth sweep 0.5–64 TBps per SPU."""
-    sweep = run_sweep(
-        _fig5_point,
-        SweepGrid.product(bandwidth_tbps=tuple(bandwidths_tbps)),
-        common={"batch": batch, "model": model},
-        workers=workers,
+    # Imported lazily: the registry's builders live above this module in the
+    # import graph (repro.analysis.__init__ -> figures -> registry -> sweep).
+    from repro.scenarios.registry import fig5_scenario
+    from repro.scenarios.runner import run_scenario
+
+    result = run_scenario(
+        fig5_scenario(tuple(bandwidths_tbps), batch, model), workers=workers
     )
     return Fig5Result(
         bandwidths=tuple(bandwidths_tbps),
-        achieved_pflops_per_spu=sweep.series(
-            lambda r: r.achieved_flops_per_pu / 1e15
-        ),
-        gemm_time_per_layer=sweep.series(lambda r: r.fw_gemm_breakdown.total),
-        gemm_memory_bound_time=sweep.series(
-            lambda r: r.fw_gemm_breakdown.memory_bound_time
-        ),
-        gemm_compute_bound_time=sweep.series(
-            lambda r: r.fw_gemm_breakdown.compute_bound_time
-        ),
-        reports=sweep.values(),
+        achieved_pflops_per_spu=result.series("achieved_pflops_per_pu"),
+        gemm_time_per_layer=result.series("gemm_time_per_layer"),
+        gemm_memory_bound_time=result.series("gemm_memory_bound_time"),
+        gemm_compute_bound_time=result.series("gemm_compute_bound_time"),
+        reports=result.reports(),
     )
 
 
@@ -137,21 +125,6 @@ class Fig6Result:
         return tuple(entry.speedup for entry in self.entries)
 
 
-def _fig6_point(
-    model: LLMConfig, batch: int, dram_bandwidth_per_spu: float
-) -> Fig6Entry:
-    """One Fig. 6 grid point: the SPU/GPU training pair for one model."""
-    spu_system = scd_system(dram_bandwidth_per_spu)
-    gpu_system = build_gpu_system(spu_system.n_accelerators)
-    spu_report = Optimus(spu_system).evaluate_training(
-        map_training(model, spu_system, TRAINING_PARALLEL, batch)
-    )
-    gpu_report = Optimus(gpu_system).evaluate_training(
-        map_training(model, gpu_system, TRAINING_PARALLEL, batch)
-    )
-    return Fig6Entry(model_name=model.name, spu=spu_report, gpu=gpu_report)
-
-
 def fig6_training_models(
     batch: int = 64,
     dram_bandwidth_per_spu: float = DEFAULT_SPU_BANDWIDTH,
@@ -159,13 +132,26 @@ def fig6_training_models(
     workers: int | None = None,
 ) -> Fig6Result:
     """Reproduce Fig. 6 (+ inset): per-batch breakdown SPU vs GPU."""
-    sweep = run_sweep(
-        _fig6_point,
-        SweepGrid.product(model=models),
-        common={"batch": batch, "dram_bandwidth_per_spu": dram_bandwidth_per_spu},
+    from repro.scenarios.registry import fig6_scenario
+    from repro.scenarios.runner import run_scenario
+
+    result = run_scenario(
+        fig6_scenario(batch, dram_bandwidth_per_spu / TBPS, models),
         workers=workers,
     )
-    return Fig6Result(entries=sweep.values())
+    # Axis values are zoo names, or inline LLMConfigs for custom models.
+    return Fig6Result(
+        entries=tuple(
+            Fig6Entry(
+                model_name=ref if isinstance(ref, str) else ref.name,
+                spu=outcome.report,
+                gpu=outcome.ref_report,
+            )
+            for ref, outcome in zip(
+                result.axis("workload.model"), result.outcomes()
+            )
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -194,45 +180,6 @@ class Fig7Result:
         return self.latencies[0] / self.latencies[-1]
 
 
-def _infer_report(
-    system: SystemSpec, model: LLMConfig, batch: int, io_tokens: tuple[int, int]
-) -> InferenceReport:
-    return Optimus(system).evaluate_inference(
-        map_inference(system=system, model=model, batch=batch,
-                      input_tokens=io_tokens[0], output_tokens=io_tokens[1])
-    )
-
-
-def _fig7_bandwidth_point(
-    bandwidth_tbps: float,
-    model: LLMConfig,
-    batch: int,
-    io_tokens: tuple[int, int],
-) -> InferenceReport:
-    """Fig. 7 main sweep point: inference at one DRAM bandwidth per SPU."""
-    return _infer_report(scd_system(bandwidth_tbps * TBPS), model, batch, io_tokens)
-
-
-def _fig7_latency_point(
-    dram_latency_ns: float,
-    model: LLMConfig,
-    batch: int,
-    io_tokens: tuple[int, int],
-) -> InferenceReport:
-    """Fig. 7 inset (a) point: inference at one DRAM latency, 16 TBps."""
-    system = scd_system(DEFAULT_SPU_BANDWIDTH).with_dram_latency(
-        dram_latency_ns * NS
-    )
-    return _infer_report(system, model, batch, io_tokens)
-
-
-def _fig7_batch_point(
-    batch: int, model: LLMConfig, io_tokens: tuple[int, int]
-) -> InferenceReport:
-    """Fig. 7 inset (b) point: inference at one batch size, 16 TBps."""
-    return _infer_report(scd_system(DEFAULT_SPU_BANDWIDTH), model, batch, io_tokens)
-
-
 def fig7_inference(
     bandwidths_tbps: tuple[float, ...] = (0.5, 1, 2, 4, 8, 16, 32),
     dram_latencies_ns: tuple[float, ...] = (10, 30, 50, 100, 150, 200),
@@ -242,42 +189,44 @@ def fig7_inference(
     model: LLMConfig = LLAMA_405B,
     workers: int | None = None,
 ) -> Fig7Result:
-    """Reproduce Fig. 7 and both insets."""
-    common = {"model": model, "io_tokens": io_tokens}
-    bw_sweep = run_sweep(
-        _fig7_bandwidth_point,
-        SweepGrid.product(bandwidth_tbps=tuple(bandwidths_tbps)),
-        common={**common, "batch": batch},
-        workers=workers,
+    """Reproduce Fig. 7 and both insets (four scenarios, one result)."""
+    from repro.scenarios.registry import (
+        fig7_bandwidth_scenario,
+        fig7_batch_scenario,
+        fig7_gpu_scenario,
+        fig7_latency_scenario,
     )
-    latency_sweep = run_sweep(
-        _fig7_latency_point,
-        SweepGrid.product(dram_latency_ns=tuple(dram_latencies_ns)),
-        common={**common, "batch": batch},
-        workers=workers,
-    )
-    batch_sweep = run_sweep(
-        _fig7_batch_point,
-        SweepGrid.product(batch=tuple(batches)),
-        common=common,
-        workers=workers,
-    )
+    from repro.scenarios.runner import run_scenario
 
-    base = scd_system(DEFAULT_SPU_BANDWIDTH)
-    gpu_system = build_gpu_system(base.n_accelerators)
-    gpu_report = _infer_report(gpu_system, model, batch, io_tokens)
+    spu_bandwidth_tbps = DEFAULT_SPU_BANDWIDTH / TBPS
+    bw_result = run_scenario(
+        fig7_bandwidth_scenario(tuple(bandwidths_tbps), batch, io_tokens, model),
+        workers=workers,
+    )
+    latency_result = run_scenario(
+        fig7_latency_scenario(
+            tuple(dram_latencies_ns), batch, io_tokens, model, spu_bandwidth_tbps
+        ),
+        workers=workers,
+    )
+    batch_result = run_scenario(
+        fig7_batch_scenario(tuple(batches), io_tokens, model, spu_bandwidth_tbps),
+        workers=workers,
+    )
+    gpu_result = run_scenario(fig7_gpu_scenario(batch, io_tokens, model))
 
-    pflops_per_pu = lambda r: r.achieved_flops_per_pu / 1e15  # noqa: E731
     return Fig7Result(
         bandwidths=tuple(bandwidths_tbps),
-        latencies=bw_sweep.series("latency"),
+        latencies=bw_result.series("latency"),
         dram_latencies_ns=tuple(dram_latencies_ns),
-        latency_sweep_pflops_per_spu=latency_sweep.series(pflops_per_pu),
+        latency_sweep_pflops_per_spu=latency_result.series(
+            "achieved_pflops_per_pu"
+        ),
         batches=tuple(batches),
-        batch_latencies=batch_sweep.series("latency"),
-        batch_pflops_per_spu=batch_sweep.series(pflops_per_pu),
-        gpu_latency=gpu_report.latency,
-        gpu_pflops_per_pu=gpu_report.achieved_flops_per_pu / 1e15,
+        batch_latencies=batch_result.series("latency"),
+        batch_pflops_per_spu=batch_result.series("achieved_pflops_per_pu"),
+        gpu_latency=gpu_result.series("latency")[0],
+        gpu_pflops_per_pu=gpu_result.series("achieved_pflops_per_pu")[0],
     )
 
 
@@ -298,21 +247,6 @@ class Fig8Result:
     gpu_reports: tuple[InferenceReport, ...] = field(repr=False, default=())
 
 
-def _fig8_point(
-    model: LLMConfig,
-    batch: int,
-    io_tokens: tuple[int, int],
-    dram_bandwidth_per_spu: float,
-) -> tuple[InferenceReport, InferenceReport]:
-    """One Fig. 8 grid point: the (SPU, GPU) inference report pair."""
-    spu_system = scd_system(dram_bandwidth_per_spu)
-    gpu_system = build_gpu_system(spu_system.n_accelerators)
-    return (
-        _infer_report(spu_system, model, batch, io_tokens),
-        _infer_report(gpu_system, model, batch, io_tokens),
-    )
-
-
 def fig8_inference_speedup(
     models: tuple[LLMConfig, ...] = (MOE_132B, LLAMA_70B, LLAMA_405B),
     batches: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
@@ -322,34 +256,30 @@ def fig8_inference_speedup(
     workers: int | None = None,
 ) -> Fig8Result:
     """Reproduce Fig. 8: per-model speed-ups and the Llama-405B batch sweep."""
-    common = {
-        "io_tokens": io_tokens,
-        "dram_bandwidth_per_spu": dram_bandwidth_per_spu,
-    }
-    model_sweep = run_sweep(
-        _fig8_point,
-        SweepGrid.product(model=models),
-        common={**common, "batch": batch},
-        workers=workers,
+    from repro.scenarios.registry import (
+        fig8_batch_scenario,
+        fig8_models_scenario,
     )
-    batch_sweep = run_sweep(
-        _fig8_point,
-        SweepGrid.product(batch=tuple(batches)),
-        common={**common, "model": LLAMA_405B},
-        workers=workers,
-    )
+    from repro.scenarios.runner import run_scenario
 
-    speedup = lambda pair: pair[1].latency / pair[0].latency  # noqa: E731
-    gpu_system = build_gpu_system(scd_system(dram_bandwidth_per_spu).n_accelerators)
+    bandwidth_tbps = dram_bandwidth_per_spu / TBPS
+    model_result = run_scenario(
+        fig8_models_scenario(models, batch, io_tokens, bandwidth_tbps),
+        workers=workers,
+    )
+    batch_result = run_scenario(
+        fig8_batch_scenario(tuple(batches), io_tokens, LLAMA_405B, bandwidth_tbps),
+        workers=workers,
+    )
     return Fig8Result(
         model_names=tuple(model.name for model in models),
-        model_speedups=model_sweep.series(speedup),
+        model_speedups=model_result.series("speedup"),
         batches=tuple(batches),
-        batch_speedups=batch_sweep.series(speedup),
-        kv_cache_bytes=batch_sweep.series(lambda pair: pair[0].kv_cache_bytes),
-        gpu_memory_capacity=gpu_system.total_memory_capacity,
-        spu_reports=model_sweep.series(lambda pair: pair[0]),
-        gpu_reports=model_sweep.series(lambda pair: pair[1]),
+        batch_speedups=batch_result.series("speedup"),
+        kv_cache_bytes=batch_result.series("kv_cache_bytes"),
+        gpu_memory_capacity=gpu_config(64).build().total_memory_capacity,
+        spu_reports=model_result.reports(),
+        gpu_reports=model_result.ref_reports(),
     )
 
 

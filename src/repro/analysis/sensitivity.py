@@ -7,19 +7,22 @@ bandwidth-delay-product budget.  An analytical-model result is only worth
 quoting if it survives perturbation of those knobs, so this module sweeps
 each one across a generous range and reports the induced swing of the
 Fig. 8 inference speed-up (Llama-405B, B=8) — a tornado chart in data form.
+
+The tornado is one declarative scenario
+(:func:`repro.scenarios.registry.sensitivity_scenario`): an explicit grid
+whose first point is the baseline and whose remaining points each perturb
+exactly one knob (:data:`~repro.scenarios.registry.SENSITIVITY_KNOBS`) to
+one endpoint.  This module reshapes the extracted ``speedup`` series into
+the tornado entries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.analysis.sweep import SweepGrid, run_sweep
-from repro.arch.blade import build_blade
-from repro.arch.gpu import H100Specs, build_gpu_system
-from repro.arch.system import SystemSpec
-from repro.core.model import Optimus
-from repro.parallel.mapper import map_inference
-from repro.units import KIB, TBPS, US
+from repro.scenarios.registry import SENSITIVITY_KNOBS, sensitivity_scenario
+from repro.scenarios.runner import run_scenario
+from repro.units import TBPS
 from repro.workloads.llm import LLAMA_405B, LLMConfig
 
 
@@ -57,121 +60,6 @@ class SensitivityResult:
         return sorted(self.entries, key=lambda e: e.swing, reverse=True)
 
 
-def _speedup(
-    model: LLMConfig,
-    scd: SystemSpec,
-    gpu: SystemSpec,
-    batch: int,
-    io_tokens: tuple[int, int],
-) -> float:
-    scd_latency = (
-        Optimus(scd)
-        .evaluate_inference(
-            map_inference(
-                model, scd, batch=batch,
-                input_tokens=io_tokens[0], output_tokens=io_tokens[1],
-            )
-        )
-        .latency
-    )
-    gpu_latency = (
-        Optimus(gpu)
-        .evaluate_inference(
-            map_inference(
-                model, gpu, batch=batch,
-                input_tokens=io_tokens[0], output_tokens=io_tokens[1],
-            )
-        )
-        .latency
-    )
-    return gpu_latency / scd_latency
-
-
-def _scd_system(
-    dram_bandwidth_per_spu: float, outstanding: float = 512 * KIB
-) -> SystemSpec:
-    blade = replace(build_blade(), dram_outstanding_bytes=outstanding)
-    return blade.system().with_dram_bandwidth(dram_bandwidth_per_spu)
-
-
-def _gpu_system(specs: H100Specs | None = None) -> SystemSpec:
-    return build_gpu_system(64, specs or H100Specs())
-
-
-def _perturb_gpu_low_ai(
-    setting: float, dram_bandwidth_per_spu: float
-) -> tuple[SystemSpec, SystemSpec]:
-    return (
-        _scd_system(dram_bandwidth_per_spu),
-        _gpu_system(H100Specs(stream_low_ai=setting)),
-    )
-
-
-def _perturb_ib_alpha(
-    setting: float, dram_bandwidth_per_spu: float
-) -> tuple[SystemSpec, SystemSpec]:
-    return (
-        _scd_system(dram_bandwidth_per_spu),
-        _gpu_system(H100Specs(ib_alpha=setting * US)),
-    )
-
-
-def _perturb_gpu_launch_overhead(
-    setting: float, dram_bandwidth_per_spu: float
-) -> tuple[SystemSpec, SystemSpec]:
-    return (
-        _scd_system(dram_bandwidth_per_spu),
-        _gpu_system(H100Specs(kernel_launch_overhead=setting * US)),
-    )
-
-
-def _perturb_scd_outstanding(
-    setting: float, dram_bandwidth_per_spu: float
-) -> tuple[SystemSpec, SystemSpec]:
-    return (
-        _scd_system(dram_bandwidth_per_spu, outstanding=setting * KIB),
-        _gpu_system(),
-    )
-
-
-#: (knob, low, high, system builder) — the single table defining each
-#: perturbation.  Ranges are deliberately generous (roughly ±2× around the
-#: calibration) so the result brackets any reasonable alternative
-#: calibration.
-PERTURBATIONS: tuple[tuple[str, float, float, object], ...] = (
-    ("GPU low-AI stream efficiency", 0.15, 0.45, _perturb_gpu_low_ai),
-    ("InfiniBand alpha (us)", 0.2, 1.0, _perturb_ib_alpha),
-    ("GPU kernel-launch overhead (us)", 0.0, 1.0, _perturb_gpu_launch_overhead),
-    ("SCD outstanding bytes (KiB)", 256.0, 2048.0, _perturb_scd_outstanding),
-)
-
-_BUILDERS = {name: builder for name, _, _, builder in PERTURBATIONS}
-
-
-def _perturbed_systems(
-    knob: str, setting: float, dram_bandwidth_per_spu: float
-) -> tuple[SystemSpec, SystemSpec]:
-    """The (SCD, GPU) system pair with one calibrated knob perturbed."""
-    try:
-        builder = _BUILDERS[knob]
-    except KeyError:
-        raise ValueError(f"unknown sensitivity knob {knob!r}") from None
-    return builder(setting, dram_bandwidth_per_spu)
-
-
-def _sensitivity_point(
-    knob: str,
-    setting: float,
-    model: LLMConfig,
-    batch: int,
-    io_tokens: tuple[int, int],
-    dram_bandwidth_per_spu: float,
-) -> float:
-    """Fig. 8 speed-up with one knob set to one perturbed value."""
-    scd, gpu = _perturbed_systems(knob, setting, dram_bandwidth_per_spu)
-    return _speedup(model, scd, gpu, batch, io_tokens)
-
-
 def inference_speedup_sensitivity(
     model: LLMConfig = LLAMA_405B,
     batch: int = 8,
@@ -180,44 +68,24 @@ def inference_speedup_sensitivity(
     workers: int | None = None,
 ) -> SensitivityResult:
     """Perturb each calibrated knob and measure the Fig. 8 speed-up swing."""
-    baseline = _speedup(
-        model,
-        _scd_system(dram_bandwidth_per_spu),
-        _gpu_system(),
-        batch,
-        io_tokens,
+    scenario = sensitivity_scenario(
+        model, batch, io_tokens, dram_bandwidth_per_spu / TBPS
     )
+    result = run_scenario(scenario, workers=workers)
+    speedups = result.series("speedup")
 
-    # One (knob, setting) point per perturbation endpoint, driven as a
-    # lockstep grid: [knob1@low, knob1@high, knob2@low, ...].
-    grid = SweepGrid.zipped(
-        knob=tuple(name for name, _, _, _ in PERTURBATIONS for _ in range(2)),
-        setting=tuple(
-            v for _, low, high, _ in PERTURBATIONS for v in (low, high)
-        ),
-    )
-    sweep = run_sweep(
-        _sensitivity_point,
-        grid,
-        common={
-            "model": model,
-            "batch": batch,
-            "io_tokens": io_tokens,
-            "dram_bandwidth_per_spu": dram_bandwidth_per_spu,
-        },
-        workers=workers,
-    )
-
+    # Grid layout (see sensitivity_scenario): [baseline,
+    # knob1@low, knob1@high, knob2@low, knob2@high, ...].
+    baseline = speedups[0]
     entries = []
-    for name, low, high, _ in PERTURBATIONS:
-        at_low, at_high = sweep.where(knob=name).values()
+    for i, (name, _, low, high) in enumerate(SENSITIVITY_KNOBS):
         entries.append(
             SensitivityEntry(
                 parameter=name,
                 low_setting=low,
                 high_setting=high,
-                speedup_at_low=at_low,
-                speedup_at_high=at_high,
+                speedup_at_low=speedups[1 + 2 * i],
+                speedup_at_high=speedups[2 + 2 * i],
                 baseline_speedup=baseline,
             )
         )

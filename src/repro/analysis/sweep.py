@@ -164,6 +164,125 @@ class SweepResult:
         )
         return SweepResult(grid=grid, points=keep)
 
+    # -- persistence (the staged raw → CSV pipeline shape) -----------------
+    def to_csv(self, path) -> None:
+        """Write the sweep as CSV: axis columns plus flattened value columns.
+
+        Point values may be scalars (one ``value`` column), mappings, or
+        dataclasses (one column per scalar field; non-scalar fields are
+        dropped).  The first line records the axis names so
+        :meth:`from_csv` can split axes from values without guessing.
+        """
+        import csv
+
+        flat = [_flatten_value(point.value) for point in self.points]
+        value_cols: list[str] = []
+        for row in flat:
+            for name in row:
+                if name not in value_cols:
+                    value_cols.append(name)
+        header = list(self.grid.names) + value_cols
+        with open(path, "w", newline="") as handle:
+            handle.write("# axes: " + ",".join(self.grid.names) + "\n")
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for point, values in zip(self.points, flat):
+                row = [_to_cell(point.params[n]) for n in self.grid.names]
+                row.extend(_to_cell(values.get(c)) for c in value_cols)
+                writer.writerow(row)
+
+    @classmethod
+    def from_csv(cls, path) -> "SweepResult":
+        """Read a :meth:`to_csv` file back into a sweep.
+
+        Every cell — axis values included — comes back as a plain cell type
+        (``int``/``float``/``bool``/``str``/``None``), so a *string* that
+        happens to look numeric (an axis value ``"2"``) is restored as a
+        number.  A lone ``value`` column restores scalar points, anything
+        else restores a dict per point.
+        """
+        import csv
+
+        with open(path, newline="") as handle:
+            first = handle.readline()
+            if not first.startswith("# axes:"):
+                raise ConfigError(
+                    f"{path}: not a SweepResult CSV (missing '# axes:' line)"
+                )
+            axes = tuple(
+                name for name in first.split(":", 1)[1].strip().split(",") if name
+            )
+            reader = csv.reader(handle)
+            header = next(reader)
+            if tuple(header[: len(axes)]) != axes:
+                raise ConfigError(
+                    f"{path}: header {header!r} does not start with axes {axes!r}"
+                )
+            value_cols = header[len(axes):]
+            rows = []
+            values = []
+            for cells in reader:
+                parsed = [_from_cell(c) for c in cells]
+                rows.append(tuple(parsed[: len(axes)]))
+                rest = parsed[len(axes):]
+                if value_cols == ["value"]:
+                    values.append(rest[0])
+                else:
+                    values.append(dict(zip(value_cols, rest)))
+        grid = SweepGrid(names=axes, rows=tuple(rows))
+        points = tuple(
+            SweepPoint(params=dict(zip(axes, row)), value=value)
+            for row, value in zip(rows, values)
+        )
+        return cls(grid=grid, points=points)
+
+
+_SCALAR_TYPES = (int, float, bool, str)
+
+
+def _flatten_value(value: Any) -> dict[str, Any]:
+    """Flatten one point value to named scalar columns for CSV."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        items = [
+            (f.name, getattr(value, f.name)) for f in dataclasses.fields(value)
+        ]
+    elif isinstance(value, Mapping):
+        items = list(value.items())
+    else:
+        return {"value": value}
+    return {
+        name: v
+        for name, v in items
+        if v is None or isinstance(v, _SCALAR_TYPES)
+    }
+
+
+def _to_cell(value: Any) -> str:
+    """Encode one scalar as a CSV cell (``None`` → empty)."""
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _from_cell(cell: str) -> Any:
+    """Inverse of :func:`_to_cell`: recover int/float/bool/None, else str."""
+    if cell == "":
+        return None
+    if cell == "True":
+        return True
+    if cell == "False":
+        return False
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
 
 def _pool_probe() -> None:
     """No-op task used to confirm worker processes actually start."""

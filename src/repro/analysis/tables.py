@@ -50,20 +50,72 @@ def blade_spec_table(blade: SCDBlade | None = None) -> list[tuple[str, str]]:
     return blade.spec_rows()
 
 
+#: Column headers matching each table generator's row shape (shared by the
+#: scenario renderer and the examples so they cannot drift apart).
+DATALINK_HEADERS = ("Parameter", "Downlink", "Uplink")
+BLADE_SPEC_HEADERS = ("Parameter", "Baseline Value")
+PCL_FLOW_HEADERS = ("design", "datapath JJ", "total JJ", "phases", "area mm2")
+
+
+def pcl_flow_table(reports=None) -> list[tuple[str, str, str, str, str]]:
+    """Run the design database through the EDA flow; one row per design.
+
+    The Fig. 1 logic-layer story in table form: (design, datapath JJ,
+    total JJ, pipeline phases, area mm²) for every entry in
+    :data:`repro.eda.designs.DESIGN_DATABASE`.  Pass a ``{name: FlowReport}``
+    mapping to table-ize already-run flows instead of re-running them.
+    """
+    from repro.eda import designs, run_flow
+
+    if reports is None:
+        reports = {
+            name: run_flow(generator())
+            for name, generator in designs.DESIGN_DATABASE.items()
+        }
+    rows: list[tuple[str, str, str, str, str]] = []
+    for name, report in reports.items():
+        rows.append(
+            (
+                name,
+                str(report.datapath_jj),
+                str(report.total_jj),
+                str(report.pipeline_depth),
+                f"{report.area / 1e-6:.4f}",
+            )
+        )
+    return rows
+
+
+def render_columns(
+    rows: list[tuple[str, ...]], headers: tuple[str, ...]
+) -> str:
+    """Fixed-width rendering of uniform-arity string rows."""
+    widths = [
+        max([len(headers[i]), *(len(row[i]) for row in rows)])
+        for i in range(len(headers))
+    ]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    def line(cells: tuple[str, ...]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    out = [sep, line(headers), sep]
+    out.extend(line(row) for row in rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
 def render_two_column(rows: list[tuple[str, str]], headers: tuple[str, str]) -> str:
     """Fixed-width rendering of (parameter, value) rows."""
-    width0 = max(len(headers[0]), *(len(r[0]) for r in rows))
-    width1 = max(len(headers[1]), *(len(r[1]) for r in rows))
-    sep = "+-" + "-" * width0 + "-+-" + "-" * width1 + "-+"
-    lines = [sep, f"| {headers[0].ljust(width0)} | {headers[1].ljust(width1)} |", sep]
-    lines.extend(f"| {a.ljust(width0)} | {b.ljust(width1)} |" for a, b in rows)
-    lines.append(sep)
-    return "\n".join(lines)
+    return render_columns(rows, headers)
 
 
 __all__ = [
     "table1_technology",
     "datalink_table",
     "blade_spec_table",
+    "pcl_flow_table",
+    "DATALINK_HEADERS",
+    "BLADE_SPEC_HEADERS",
+    "PCL_FLOW_HEADERS",
+    "render_columns",
     "render_two_column",
 ]

@@ -14,10 +14,14 @@ from repro.arch.spu import SPUStack, build_spu
 from repro.arch.snu import SNUStack, build_snu
 from repro.arch.blade import SCDBlade, build_blade
 from repro.arch.gpu import H100_SPECS, build_gpu_system, h100_accelerator
+from repro.arch.config import SystemConfig, gpu_config, scd_blade_config
 
 __all__ = [
     "Accelerator",
     "SystemSpec",
+    "SystemConfig",
+    "scd_blade_config",
+    "gpu_config",
     "ComputeDie",
     "ControlComplex",
     "SPUStack",

@@ -1,0 +1,152 @@
+"""``python -m repro`` — run any registered scenario from the shell.
+
+Subcommands:
+
+* ``list [--kind K]``   — registered scenarios (name, kind, description);
+* ``show NAME``         — the scenario spec as JSON (the ``to_dict`` form);
+* ``run NAME``          — execute and print the rendered result;
+* ``sweep NAME``        — execute a grid scenario, optionally fanning points
+  out over ``--workers N``.
+
+``run`` and ``sweep`` accept ``--out DIR`` to emit the staged artifacts the
+qml-cutensornet-style pipelines use: ``<name>_raw.json`` (spec + per-point
+values), ``<name>.csv`` (grid scenarios) and ``<name>.txt`` (the rendered
+text figure/table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.scenarios import REGISTRY, get, run_scenario
+from repro.scenarios.runner import ScenarioResult
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        (name, scenario.kind, scenario.description)
+        for name, scenario in REGISTRY.items()
+        if args.kind is None or scenario.kind == args.kind
+    ]
+    if not rows:
+        print(f"no scenarios of kind {args.kind!r}")
+        return 1
+    width_name = max(len(r[0]) for r in rows)
+    width_kind = max(len(r[1]) for r in rows)
+    for name, kind, description in rows:
+        print(f"{name:{width_name}s}  {kind:{width_kind}s}  {description}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(get(args.name).to_json())
+    return 0
+
+
+def _write_artifacts(result: ScenarioResult, out_dir: str) -> list[Path]:
+    """The staged pipeline: raw JSON → CSV → rendered text."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = result.scenario.name
+    written = []
+
+    raw_path = directory / f"{name}_raw.json"
+    raw_path.write_text(json.dumps(result.to_raw(), indent=2) + "\n")
+    written.append(raw_path)
+
+    if result.sweep is not None:
+        csv_path = directory / f"{name}.csv"
+        result.extracted_sweep().to_csv(csv_path)
+        written.append(csv_path)
+
+    text_path = directory / f"{name}.txt"
+    text_path.write_text(result.render() + "\n")
+    written.append(text_path)
+    return written
+
+
+def _execute(args: argparse.Namespace, require_grid: bool) -> int:
+    scenario = get(args.name)
+    if require_grid and scenario.grid is None:
+        print(
+            f"scenario {args.name!r} has no sweep grid; use `run` instead",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_scenario(scenario, workers=args.workers)
+    print(result.render())
+    if args.out:
+        for path in _write_artifacts(result, args.out):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _execute(args, require_grid=False)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _execute(args, require_grid=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's experiments as named scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--kind", default=None, help="filter by scenario kind")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_show = sub.add_parser("show", help="print a scenario spec as JSON")
+    p_show.add_argument("name")
+    p_show.set_defaults(fn=_cmd_show)
+
+    for command, fn, help_text in (
+        ("run", _cmd_run, "execute a scenario and print the result"),
+        ("sweep", _cmd_sweep, "execute a grid scenario"),
+    ):
+        p = sub.add_parser(command, help=help_text)
+        p.add_argument("name")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="fan sweep points out over N worker processes",
+        )
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="DIR",
+            help="write raw-JSON/CSV/text artifacts into DIR",
+        )
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed early (`python -m repro list | head`); swallow
+        # the pipe error like a well-behaved unix tool.  Point stdout at
+        # devnull so the interpreter's shutdown flush cannot re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+__all__ = ["build_parser", "main"]

@@ -14,8 +14,9 @@ respective memory level."
 * :mod:`model`        — end-to-end training/inference evaluation (Optimus);
 * :mod:`report`       — result structures with the paper's breakdowns;
 * :mod:`optimizer`    — parallelization-strategy search;
-* :mod:`sweep`        — legacy single-axis sweep helpers (new code should
-  use the declarative :mod:`repro.analysis.sweep` driver instead).
+* :mod:`sweep`        — deprecated single-axis sweep helpers (use the
+  scenario API, :mod:`repro.scenarios`, or the declarative
+  :mod:`repro.analysis.sweep` driver; no longer re-exported here).
 """
 
 from repro.core.roofline import Boundedness, KernelTiming, time_compute_kernel
@@ -28,7 +29,6 @@ from repro.core.timing_cache import (
 from repro.core.model import Optimus
 from repro.core.report import InferenceReport, TrainingReport
 from repro.core.optimizer import StrategyResult, search_strategies
-from repro.core.sweep import sweep_dram_bandwidth, sweep_dram_latency
 
 __all__ = [
     "Boundedness",
@@ -43,6 +43,4 @@ __all__ = [
     "InferenceReport",
     "StrategyResult",
     "search_strategies",
-    "sweep_dram_bandwidth",
-    "sweep_dram_latency",
 ]

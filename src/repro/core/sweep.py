@@ -1,12 +1,23 @@
-"""Legacy single-axis sweep helpers.
+"""Deprecated single-axis sweep helpers.
 
-Superseded by the declarative :mod:`repro.analysis.sweep` driver (grids,
-structured results, process fan-out), which now backs the figure
-generators; kept for downstream callers of the simple one-axis API.
+Superseded twice over: first by the declarative :mod:`repro.analysis.sweep`
+driver (grids, structured results, process fan-out), and now by the
+scenario API (:mod:`repro.scenarios`) — a DRAM-bandwidth sweep is one
+declarative spec::
+
+    Scenario.builder("my-sweep").inference("Llama-405B", batch=8) \\
+        .on(SystemConfig(kind="scd_blade")) \\
+        .sweep_product(**{"system.dram_bandwidth_tbps": (1, 2, 4)}) \\
+        .extracting("latency").build().run()
+
+These helpers emit :class:`DeprecationWarning` and will be removed once
+downstream callers have migrated; they are no longer re-exported from
+:mod:`repro.core`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -17,6 +28,16 @@ from repro.errors import require_positive
 from repro.parallel.mapper import map_inference, map_training
 from repro.parallel.strategy import ParallelConfig
 from repro.workloads.llm import LLMConfig
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.sweep.{name} is deprecated; build a Scenario with "
+        f"{replacement} and run it (see repro.scenarios), or use "
+        "repro.analysis.sweep.run_sweep for ad-hoc grids",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -37,6 +58,9 @@ def sweep_dram_bandwidth(
     **kwargs,
 ) -> list[SweepPoint]:
     """Sweep the per-accelerator main-memory bandwidth (Fig. 5 / Fig. 7)."""
+    _warn_deprecated(
+        "sweep_dram_bandwidth", 'a "system.dram_bandwidth_tbps" sweep axis'
+    )
     points: list[SweepPoint] = []
     for bandwidth in bandwidths:
         require_positive("bandwidth", bandwidth)
@@ -66,6 +90,9 @@ def sweep_dram_latency(
     **kwargs,
 ) -> list[SweepPoint]:
     """Sweep the main-memory access latency (Fig. 7 inset a)."""
+    _warn_deprecated(
+        "sweep_dram_latency", 'a "system.dram_latency_ns" sweep axis'
+    )
     points: list[SweepPoint] = []
     for latency in latencies:
         swept = system.with_dram_latency(latency)
@@ -92,6 +119,7 @@ def sweep_batch_size(
     **kwargs,
 ) -> list[SweepPoint]:
     """Sweep the inference batch size (Fig. 7 inset b / Fig. 8b)."""
+    _warn_deprecated("sweep_batch_size", 'a "workload.batch" sweep axis')
     optimus = Optimus(system)
     points: list[SweepPoint] = []
     for batch in batches:

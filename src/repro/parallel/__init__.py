@@ -13,6 +13,8 @@ from repro.parallel.pipeline import PipelineTiming, simulate_1f1b
 from repro.parallel.mapper import (
     MappedInference,
     MappedTraining,
+    MappingCache,
+    default_mapping_cache,
     map_inference,
     map_training,
 )
@@ -23,6 +25,8 @@ __all__ = [
     "simulate_1f1b",
     "MappedTraining",
     "MappedInference",
+    "MappingCache",
+    "default_mapping_cache",
     "map_training",
     "map_inference",
 ]

@@ -14,6 +14,7 @@ per-device kernel lists the Optimus evaluator times:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -395,10 +396,150 @@ def map_inference(
     )
 
 
+class MappingCache:
+    """Batch-level mapping dedup for sweeps.
+
+    The op programs a mapping produces depend on the *workload* side only —
+    model, parallel decomposition, batch, sequence/token counts, precision —
+    plus the system's accelerator **count** (strategy validation and the
+    default inference TP degree).  They do not depend on bandwidths,
+    latencies, capacities or any other accelerator parameter.  A sweep whose
+    points differ only in system parameters (the Fig. 5/7 bandwidth grids)
+    can therefore map once and re-time per system: the cache memoizes the
+    mapped workload and rebinds the ``system`` field per lookup, so derived
+    capacity checks (``fits_memory``) still see the live system.
+
+    Hit/miss counters expose the dedup for tests and diagnostics.  The cache
+    is bounded LRU (``max_entries`` distinct mapping keys).
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        require_positive("max_entries", max_entries)
+        from collections import OrderedDict
+
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, MappedTraining | MappedInference]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _lookup(self, key: tuple, build: Callable[[], "MappedTraining | MappedInference"]):
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = build()
+            self._entries[key] = entry
+            self.misses += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return entry
+
+    def map_training(
+        self,
+        model: LLMConfig,
+        system: SystemSpec,
+        parallel: ParallelConfig,
+        batch: int,
+        seq_len: int | None = None,
+        precision_bytes: float = 2.0,
+        tp_overlap: float = 0.0,
+    ) -> MappedTraining:
+        """Memoized :func:`map_training`, rebound to ``system``."""
+        key = (
+            "training",
+            model,
+            parallel,
+            batch,
+            seq_len,
+            precision_bytes,
+            tp_overlap,
+            system.n_accelerators,
+        )
+        mapped = self._lookup(
+            key,
+            lambda: map_training(
+                model, system, parallel, batch, seq_len, precision_bytes, tp_overlap
+            ),
+        )
+        if mapped.system is system:
+            return mapped
+        return dataclasses.replace(mapped, system=system)
+
+    def map_inference(
+        self,
+        model: LLMConfig,
+        system: SystemSpec,
+        parallel: ParallelConfig | None = None,
+        batch: int = 8,
+        input_tokens: int = 200,
+        output_tokens: int = 200,
+        precision_bytes: float = 2.0,
+    ) -> MappedInference:
+        """Memoized :func:`map_inference`, rebound to ``system``."""
+        key = (
+            "inference",
+            model,
+            parallel,
+            batch,
+            input_tokens,
+            output_tokens,
+            precision_bytes,
+            system.n_accelerators,
+        )
+        mapped = self._lookup(
+            key,
+            lambda: map_inference(
+                model,
+                system,
+                parallel,
+                batch,
+                input_tokens,
+                output_tokens,
+                precision_bytes,
+            ),
+        )
+        if mapped.system is system:
+            return mapped
+        return dataclasses.replace(mapped, system=system)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Distinct mappings currently cached."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached mappings and reset counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default shared by the scenario runner (and thus every sweep
+#: point evaluated in this process).
+_DEFAULT_MAPPING_CACHE = MappingCache()
+
+
+def default_mapping_cache() -> MappingCache:
+    """The process-wide shared mapping cache."""
+    return _DEFAULT_MAPPING_CACHE
+
+
 __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "MappedTraining",
     "MappedInference",
+    "MappingCache",
+    "default_mapping_cache",
     "map_training",
     "map_inference",
 ]

@@ -1,0 +1,51 @@
+"""Declarative scenarios: every experiment as one serializable spec.
+
+A :class:`Scenario` carries the system recipe
+(:class:`~repro.arch.config.SystemConfig`), the workload, the
+parallelization, an optional sweep grid of dotted override axes, and the
+named series to extract — hashable, dict/JSON-round-trippable, rerunnable.
+:func:`run_scenario` executes any scenario through the declarative sweep
+driver, the shared mapping cache and the memoized op-program timing engine;
+:mod:`~repro.scenarios.registry` pre-registers the paper's figures, tables,
+the sensitivity tornado and the DSE search under stable names, and
+``python -m repro`` exposes the whole registry as a CLI:
+
+>>> from repro import scenarios
+>>> result = scenarios.get("fig5").run()
+>>> result.series("achieved_pflops_per_pu")
+"""
+
+from repro.scenarios.extractors import EXTRACTORS, PointOutcome, extract
+from repro.scenarios.registry import REGISTRY, get, names, register
+from repro.scenarios.runner import (
+    ScenarioResult,
+    apply_axes,
+    evaluate_scenario,
+    run_scenario,
+)
+from repro.scenarios.spec import (
+    SCENARIO_KINDS,
+    TABLE_KINDS,
+    Scenario,
+    ScenarioBuilder,
+    WorkloadConfig,
+)
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "TABLE_KINDS",
+    "Scenario",
+    "ScenarioBuilder",
+    "WorkloadConfig",
+    "PointOutcome",
+    "EXTRACTORS",
+    "extract",
+    "ScenarioResult",
+    "apply_axes",
+    "evaluate_scenario",
+    "run_scenario",
+    "REGISTRY",
+    "register",
+    "get",
+    "names",
+]

@@ -1,0 +1,83 @@
+"""Named series extractors applied to every evaluated scenario point.
+
+A scenario's ``extract`` tuple references these by name so the spec stays
+serializable — the extractor registry is the vocabulary of "what to read
+off a report".  Each extractor takes a :class:`PointOutcome` (the primary
+report, the optional reference-system report, and the point's axis
+parameters) and returns one scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.report import InferenceReport, TrainingReport
+
+AnyReport = "TrainingReport | InferenceReport"
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One evaluated scenario point.
+
+    ``report`` is the system-under-test's report; ``ref_report`` the
+    reference system's (``None`` unless the scenario has a ``ref_system``);
+    ``params`` the sweep-axis values this point was evaluated at.
+    """
+
+    report: TrainingReport | InferenceReport
+    ref_report: TrainingReport | InferenceReport | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _headline_time(report: TrainingReport | InferenceReport) -> float:
+    """The kind-appropriate headline metric: latency or time per batch."""
+    if isinstance(report, InferenceReport):
+        return report.latency
+    return report.time_per_batch
+
+
+def _ref(outcome: PointOutcome) -> TrainingReport | InferenceReport:
+    if outcome.ref_report is None:
+        raise ValueError("extractor needs a ref_system report")
+    return outcome.ref_report
+
+
+#: name -> extractor.  Keys are the vocabulary ``Scenario.extract`` accepts.
+EXTRACTORS: dict[str, Callable[[PointOutcome], Any]] = {
+    # -- headline metrics ---------------------------------------------------
+    "latency": lambda o: o.report.latency,
+    "time_per_batch": lambda o: o.report.time_per_batch,
+    "tokens_per_second": lambda o: o.report.tokens_per_second,
+    "achieved_pflops_per_pu": lambda o: o.report.achieved_flops_per_pu / 1e15,
+    # -- inference detail ---------------------------------------------------
+    "prefill_time": lambda o: o.report.prefill_time,
+    "decode_time": lambda o: o.report.decode_time,
+    "kv_cache_bytes": lambda o: o.report.kv_cache_bytes,
+    # -- training detail ----------------------------------------------------
+    "gemm_time_per_layer": lambda o: o.report.fw_gemm_breakdown.total,
+    "gemm_memory_bound_time": lambda o: o.report.fw_gemm_breakdown.memory_bound_time,
+    "gemm_compute_bound_time": lambda o: o.report.fw_gemm_breakdown.compute_bound_time,
+    # -- capacity -----------------------------------------------------------
+    "fits_memory": lambda o: o.report.fits_memory,
+    # -- reference-system comparisons --------------------------------------
+    "speedup": lambda o: _headline_time(_ref(o)) / _headline_time(o.report),
+    "ref_latency": lambda o: _ref(o).latency,
+    "ref_time_per_batch": lambda o: _ref(o).time_per_batch,
+    "ref_achieved_pflops_per_pu": lambda o: _ref(o).achieved_flops_per_pu / 1e15,
+}
+
+
+def extract(name: str, outcome: PointOutcome) -> Any:
+    """Apply one named extractor."""
+    try:
+        fn = EXTRACTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extractor {name!r}; known: {sorted(EXTRACTORS)}"
+        ) from None
+    return fn(outcome)
+
+
+__all__ = ["PointOutcome", "EXTRACTORS", "extract"]

@@ -125,3 +125,62 @@ class TestFigureSweepIntegration:
         assert fanned.gemm_time_per_layer == pytest.approx(
             serial.gemm_time_per_layer, rel=1e-12
         )
+
+
+class TestCsvPersistence:
+    def test_scalar_values_round_trip(self, tmp_path):
+        result = run_sweep(
+            scaled_sum, SweepGrid.product(x=(1.0, 2.0), y=(0.5, 1.5))
+        )
+        path = tmp_path / "sweep.csv"
+        result.to_csv(path)
+
+        from repro.analysis.sweep import SweepResult
+
+        loaded = SweepResult.from_csv(path)
+        assert loaded.grid.names == result.grid.names
+        assert loaded.grid.rows == result.grid.rows
+        assert loaded.values() == result.values()
+
+    def test_mapping_values_round_trip(self, tmp_path):
+        def point(x):
+            return {"double": 2 * x, "label": f"p{x}", "none": None}
+
+        result = run_sweep(point, SweepGrid.product(x=(1, 2)))
+        path = tmp_path / "sweep.csv"
+        result.to_csv(path)
+
+        from repro.analysis.sweep import SweepResult
+
+        loaded = SweepResult.from_csv(path)
+        assert loaded.points[0].value == {"double": 2, "label": "p1", "none": None}
+        assert loaded.axis("x") == (1, 2)
+
+    def test_dataclass_values_flatten_scalar_fields(self, tmp_path):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Report:
+            latency: float
+            name: str
+            payload: tuple  # non-scalar: dropped from the CSV
+
+        result = run_sweep(
+            lambda x: Report(latency=x * 0.5, name=f"r{x}", payload=(x,)),
+            SweepGrid.product(x=(2, 4)),
+        )
+        path = tmp_path / "sweep.csv"
+        result.to_csv(path)
+
+        from repro.analysis.sweep import SweepResult
+
+        loaded = SweepResult.from_csv(path)
+        assert loaded.points[0].value == {"latency": 1.0, "name": "r2"}
+
+    def test_from_csv_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        from repro.analysis.sweep import SweepResult
+
+        with pytest.raises(ConfigError, match="axes"):
+            SweepResult.from_csv(path)

@@ -40,3 +40,19 @@ class TestBladeTable:
         text = render_two_column(blade_spec_table(), ("Parameter", "Value"))
         widths = {len(line) for line in text.splitlines()}
         assert len(widths) == 1
+
+
+class TestRenderColumns:
+    def test_empty_rows_render_header_only(self):
+        from repro.analysis.tables import render_columns
+
+        text = render_columns([], ("a", "bb"))
+        assert "| a | bb |" in text
+
+    def test_two_column_delegates_to_render_columns(self):
+        from repro.analysis.tables import render_columns, render_two_column
+
+        rows = [("x", "1"), ("longer", "2")]
+        assert render_two_column(rows, ("p", "v")) == render_columns(
+            rows, ("p", "v")
+        )

@@ -1,4 +1,4 @@
-"""Sweep-utility and strategy-optimizer tests."""
+"""Strategy-optimizer tests plus the legacy sweep helpers' deprecation."""
 
 from __future__ import annotations
 
@@ -19,43 +19,64 @@ from repro.workloads.llm import GPT3_76B, LLAMA_405B
 PAPER = ParallelConfig(8, 8, 1)
 
 
-class TestSweeps:
-    def test_bandwidth_sweep_training(self, scd_system):
-        points = sweep_dram_bandwidth(
-            GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
-        )
+class TestLegacySweepsDeprecated:
+    """The single-axis helpers still work but point at the scenario API."""
+
+    def test_bandwidth_sweep_training_warns_and_works(self, scd_system):
+        with pytest.deprecated_call(match="repro.scenarios"):
+            points = sweep_dram_bandwidth(
+                GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
+            )
         assert len(points) == 2
         assert all(isinstance(p.report, TrainingReport) for p in points)
         assert points[1].report.time_per_batch < points[0].report.time_per_batch
 
-    def test_bandwidth_sweep_inference(self, scd_system):
-        points = sweep_dram_bandwidth(
-            LLAMA_405B, scd_system, [1 * TBPS, 8 * TBPS], "inference", None, 8,
-            output_tokens=20,
-        )
+    def test_bandwidth_sweep_inference_warns(self, scd_system):
+        with pytest.deprecated_call():
+            points = sweep_dram_bandwidth(
+                LLAMA_405B, scd_system, [1 * TBPS, 8 * TBPS], "inference",
+                None, 8, output_tokens=20,
+            )
         assert all(isinstance(p.report, InferenceReport) for p in points)
         assert points[1].report.latency < points[0].report.latency
 
-    def test_latency_sweep(self, scd_system_16tbps):
-        points = sweep_dram_latency(
-            LLAMA_405B, scd_system_16tbps, [10e-9, 200e-9], batch=8,
-            output_tokens=20,
-        )
+    def test_latency_sweep_warns(self, scd_system_16tbps):
+        with pytest.deprecated_call():
+            points = sweep_dram_latency(
+                LLAMA_405B, scd_system_16tbps, [10e-9, 200e-9], batch=8,
+                output_tokens=20,
+            )
         assert points[1].report.latency > points[0].report.latency
 
-    def test_batch_sweep(self, scd_system_16tbps):
-        points = sweep_batch_size(
-            LLAMA_405B, scd_system_16tbps, [4, 16], output_tokens=20
-        )
+    def test_batch_sweep_warns(self, scd_system_16tbps):
+        with pytest.deprecated_call():
+            points = sweep_batch_size(
+                LLAMA_405B, scd_system_16tbps, [4, 16], output_tokens=20
+            )
         assert points[1].report.latency > points[0].report.latency
-        assert (
-            points[1].report.achieved_flops_per_pu
-            > points[0].report.achieved_flops_per_pu
-        )
 
-    def test_sweep_rejects_bad_bandwidth(self, scd_system):
-        with pytest.raises(Exception):
-            sweep_dram_bandwidth(GPT3_76B, scd_system, [0.0], "training", PAPER, 32)
+    def test_scenario_equivalent_matches_legacy(self, scd_system):
+        """The migration target reproduces the legacy helper's numbers."""
+        from repro.arch.config import SystemConfig
+        from repro.scenarios import Scenario
+
+        with pytest.deprecated_call():
+            legacy = sweep_dram_bandwidth(
+                GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
+            )
+        result = (
+            Scenario.builder("legacy-migration")
+            .training(GPT3_76B, batch=32)
+            .parallel(tensor_parallel=8, pipeline_parallel=8)
+            .on(SystemConfig(kind="scd_blade"))
+            .sweep_product(**{"system.dram_bandwidth_tbps": (1, 8)})
+            .extracting("time_per_batch")
+            .build()
+            .run()
+        )
+        assert result.series("time_per_batch") == pytest.approx(
+            tuple(p.report.time_per_batch for p in legacy), rel=1e-12
+        )
 
 
 class TestOptimizer:
@@ -81,3 +102,15 @@ class TestOptimizer:
         shallow = GPT3_76B.with_layers(3)
         with pytest.raises(MappingError):
             search_strategies(shallow, small, 13, max_candidates=8)
+
+    def test_workers_fanout_matches_serial(self, scd_system_16tbps):
+        serial = search_strategies(
+            GPT3_76B, scd_system_16tbps, 64, max_candidates=8
+        )
+        fanned = search_strategies(
+            GPT3_76B, scd_system_16tbps, 64, max_candidates=8, workers=2
+        )
+        assert [r.parallel for r in serial] == [r.parallel for r in fanned]
+        assert [r.time_per_batch for r in serial] == pytest.approx(
+            [r.time_per_batch for r in fanned], rel=1e-12
+        )

@@ -1,0 +1,98 @@
+"""CLI tests: `python -m repro` list/show/run/sweep plus staged artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import Scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestList:
+    def test_lists_registered_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig5", "fig8-models", "sensitivity", "table1"):
+            assert name in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["list", "--kind", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig5 " not in out
+
+    def test_unknown_kind_is_an_error(self, capsys):
+        assert main(["list", "--kind", "nope"]) == 1
+
+
+class TestShow:
+    def test_spec_json_round_trips(self, capsys):
+        assert main(["show", "fig5"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        scenario = Scenario.from_dict(data)
+        assert scenario.name == "fig5"
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["show", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_point_scenario(self, capsys):
+        assert main(["run", "quickstart-training"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_table_scenario(self, capsys):
+        assert main(["run", "fig3c-blade-spec"]) == 0
+        assert "No. of SPUs" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_requires_grid(self, capsys):
+        assert main(["sweep", "quickstart-training"]) == 2
+        assert "no sweep grid" in capsys.readouterr().err
+
+    def test_writes_staged_artifacts(self, capsys, tmp_path):
+        assert main(["sweep", "fig6", "--out", str(tmp_path)]) == 0
+        raw = json.loads((tmp_path / "fig6_raw.json").read_text())
+        assert Scenario.from_dict(raw["scenario"]).name == "fig6"
+        assert len(raw["points"]) == 3
+
+        from repro.analysis.sweep import SweepResult
+
+        loaded = SweepResult.from_csv(tmp_path / "fig6.csv")
+        assert loaded.grid.names == ("workload.model",)
+        assert [p.value["speedup"] for p in loaded.points] == pytest.approx(
+            raw["series"]["speedup"]
+        )
+        assert "speedup" in (tmp_path / "fig6.txt").read_text()
+
+    def test_workers_flag(self, capsys):
+        assert main(["sweep", "fig6", "--workers", "2"]) == 0
+
+
+class TestSubprocessEntryPoint:
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fig5" in proc.stdout

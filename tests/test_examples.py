@@ -1,0 +1,36 @@
+"""Smoke-run every example script so API churn cannot silently break them.
+
+Each example's default path is fast (sub-second; the figure sweeps share
+the process-wide kernel-timing cache), so tier-1 runs them all end to end
+via subprocess — exactly how a user would.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
