@@ -11,7 +11,11 @@ same process:
 
 Asserts the two produce identical series (1e-9 relative) and that the
 engine is ≥5× faster, then writes the measurements to ``BENCH_engine.json``
-at the repo root — the first point of the repo's recorded perf trajectory.
+at the repo root — the repo's recorded perf trajectory.  Also times the
+batch runner serving the same scenarios out of a warm result store
+(``serve_warm_seconds`` — a pure file-read replay, asserted compute-free)
+and gates both numbers against the committed ``BENCH_baseline.json``: a
+>2× regression of either fails the default pytest run.
 Collected in the default pytest run via ``benchmarks/conftest.py``.
 """
 
@@ -39,11 +43,25 @@ from repro.workloads.llm import GPT3_76B, LLAMA_405B
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: Committed-baseline regression tolerance (wall-clock is machine-noisy;
+#: a genuine engine regression shows up as far more than 2×).
+GATE_FACTOR = 2.0
 
 FIG5_BANDWIDTHS = (0.5, 1, 2, 4, 8, 16, 32, 64)
 FIG7_BANDWIDTHS = (0.5, 1, 2, 4, 8, 16, 32)
 FIG7_LATENCIES_NS = (10, 30, 50, 100, 150, 200)
 FIG7_BATCHES = (4, 8, 16, 32, 64, 128)
+
+#: The scenarios the batch-serving measurement re-serves from a warm store.
+SERVE_SCENARIOS = (
+    "fig5",
+    "fig7-bandwidth",
+    "fig7-dram-latency",
+    "fig7-batch",
+    "fig7-gpu",
+)
 
 
 def _seed_optimus(system) -> Optimus:
@@ -137,6 +155,8 @@ def test_engine_speed_vs_seed_flat_timing():
     max_rel_err = max(errors.values())
     speedup = flat_seconds / engine_seconds
 
+    serve = _measure_warm_serving()
+
     result = {
         "benchmark": "fig5 + fig7 reference sweep",
         "engine_seconds": round(engine_seconds, 6),
@@ -145,9 +165,14 @@ def test_engine_speed_vs_seed_flat_timing():
         "max_rel_err": max_rel_err,
         "series_rel_err": {k: float(v) for k, v in errors.items()},
         "timing_cache": cache_stats,
+        "serve_scenarios": list(SERVE_SCENARIOS),
+        "serve_cold_seconds": serve["cold_seconds"],
+        "serve_warm_seconds": serve["warm_seconds"],
         "note": (
             "flat_seed_seconds reproduces the pre-engine seed path "
-            "(per-replica op walk, no memoization) in the same process"
+            "(per-replica op walk, no memoization) in the same process; "
+            "serve_warm_seconds replays the scenarios from a warm result "
+            "store (pure file reads)"
         ),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=1) + "\n")
@@ -156,7 +181,9 @@ def test_engine_speed_vs_seed_flat_timing():
         f"\nengine {engine_seconds * 1e3:.1f} ms vs flat seed "
         f"{flat_seconds * 1e3:.1f} ms -> {speedup:.1f}x "
         f"(cache hit rate {cache_stats['hit_rate']:.2%}), "
-        f"max series rel err {max_rel_err:.2e}"
+        f"max series rel err {max_rel_err:.2e}; warm batch serving "
+        f"{serve['warm_seconds'] * 1e3:.1f} ms for "
+        f"{len(SERVE_SCENARIOS)} scenarios"
     )
 
     assert max_rel_err < 1e-9, errors
@@ -164,6 +191,72 @@ def test_engine_speed_vs_seed_flat_timing():
         f"engine only {speedup:.1f}x faster than the seed flat path "
         f"({engine_seconds:.3f}s vs {flat_seconds:.3f}s)"
     )
+    _gate_against_baseline(result)
+
+
+def _measure_warm_serving() -> dict:
+    """Time the batch runner cold (compute + store) and warm (pure reads).
+
+    The warm pass must be compute-free — the kernel-timing counters are
+    asserted not to move while the store replays every artifact.
+    """
+    import tempfile
+
+    from repro.scenarios.batch import run_many
+    from repro.scenarios.store import ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ResultStore(tmp)
+        t0 = time.perf_counter()
+        cold = run_many(SERVE_SCENARIOS, store=store)
+        cold_seconds = time.perf_counter() - t0
+        assert all(not entry.from_cache for entry in cold.entries)
+
+        cache = default_timing_cache()
+        counters = (cache.hits, cache.misses)
+        t0 = time.perf_counter()
+        warm = run_many(SERVE_SCENARIOS, store=store)
+        warm_seconds = time.perf_counter() - t0
+        assert all(entry.from_cache for entry in warm.entries)
+        assert (cache.hits, cache.misses) == counters, (
+            "warm batch serving performed kernel timings"
+        )
+    return {
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+    }
+
+
+def _gate_against_baseline(result: dict) -> None:
+    """The tier-1 perf gate: fail on a >2× regression vs the committed
+    baseline (``benchmarks/perf/BENCH_baseline.json``).
+
+    Wall-clock is machine-dependent, so the allowance is scaled by a
+    host-speed factor measured *in this very process*: the seed flat-timing
+    pass exercises the same Python/model code with no caching, so
+    ``measured flat / baseline flat`` says how much slower this host is
+    than the machine that committed the baseline.  A slower host relaxes
+    the gate proportionally; a faster host never tightens it below the
+    committed absolute numbers.
+    """
+    assert BASELINE_PATH.is_file(), (
+        f"missing committed perf baseline {BASELINE_PATH}; regenerate it "
+        "from a trusted run's BENCH_engine.json"
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    host_factor = max(
+        1.0, result["flat_seed_seconds"] / baseline["flat_seed_seconds"]
+    )
+    for metric in ("engine_seconds", "serve_warm_seconds"):
+        measured = result[metric]
+        allowed = baseline[metric] * GATE_FACTOR * host_factor
+        assert measured <= allowed, (
+            f"perf gate: {metric} regressed to {measured:.4f}s "
+            f"(baseline {baseline[metric]:.4f}s x {GATE_FACTOR} gate x "
+            f"{host_factor:.2f} host factor = allowed {allowed:.4f}s). "
+            "If the slowdown is intentional, update "
+            "benchmarks/perf/BENCH_baseline.json in the same commit."
+        )
 
 
 if __name__ == "__main__":

@@ -165,15 +165,18 @@ class SweepResult:
         return SweepResult(grid=grid, points=keep)
 
     # -- persistence (the staged raw → CSV pipeline shape) -----------------
-    def to_csv(self, path) -> None:
-        """Write the sweep as CSV: axis columns plus flattened value columns.
+    def to_csv_text(self) -> str:
+        """The sweep as CSV text: axis columns plus flattened value columns.
 
         Point values may be scalars (one ``value`` column), mappings, or
         dataclasses (one column per scalar field; non-scalar fields are
         dropped).  The first line records the axis names so
-        :meth:`from_csv` can split axes from values without guessing.
+        :meth:`from_csv` can split axes from values without guessing.  The
+        text is deterministic for a given sweep — the scenario result store
+        relies on cached and recomputed CSV artifacts being byte-identical.
         """
         import csv
+        import io
 
         flat = [_flatten_value(point.value) for point in self.points]
         value_cols: list[str] = []
@@ -182,18 +185,24 @@ class SweepResult:
                 if name not in value_cols:
                     value_cols.append(name)
         header = list(self.grid.names) + value_cols
+        buffer = io.StringIO(newline="")
+        buffer.write("# axes: " + ",".join(self.grid.names) + "\n")
+        writer = csv.writer(buffer)
+        writer.writerow(header)
+        for point, values in zip(self.points, flat):
+            row = [_to_cell(point.params[n]) for n in self.grid.names]
+            row.extend(_to_cell(values.get(c)) for c in value_cols)
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_csv(self, path) -> None:
+        """Write :meth:`to_csv_text` to ``path``."""
         with open(path, "w", newline="") as handle:
-            handle.write("# axes: " + ",".join(self.grid.names) + "\n")
-            writer = csv.writer(handle)
-            writer.writerow(header)
-            for point, values in zip(self.points, flat):
-                row = [_to_cell(point.params[n]) for n in self.grid.names]
-                row.extend(_to_cell(values.get(c)) for c in value_cols)
-                writer.writerow(row)
+            handle.write(self.to_csv_text())
 
     @classmethod
-    def from_csv(cls, path) -> "SweepResult":
-        """Read a :meth:`to_csv` file back into a sweep.
+    def from_csv_text(cls, text: str, source: str = "<string>") -> "SweepResult":
+        """Parse :meth:`to_csv_text` output back into a sweep.
 
         Every cell — axis values included — comes back as a plain cell type
         (``int``/``float``/``bool``/``str``/``None``), so a *string* that
@@ -202,39 +211,46 @@ class SweepResult:
         else restores a dict per point.
         """
         import csv
+        import io
 
-        with open(path, newline="") as handle:
-            first = handle.readline()
-            if not first.startswith("# axes:"):
-                raise ConfigError(
-                    f"{path}: not a SweepResult CSV (missing '# axes:' line)"
-                )
-            axes = tuple(
-                name for name in first.split(":", 1)[1].strip().split(",") if name
+        handle = io.StringIO(text, newline="")
+        first = handle.readline()
+        if not first.startswith("# axes:"):
+            raise ConfigError(
+                f"{source}: not a SweepResult CSV (missing '# axes:' line)"
             )
-            reader = csv.reader(handle)
-            header = next(reader)
-            if tuple(header[: len(axes)]) != axes:
-                raise ConfigError(
-                    f"{path}: header {header!r} does not start with axes {axes!r}"
-                )
-            value_cols = header[len(axes):]
-            rows = []
-            values = []
-            for cells in reader:
-                parsed = [_from_cell(c) for c in cells]
-                rows.append(tuple(parsed[: len(axes)]))
-                rest = parsed[len(axes):]
-                if value_cols == ["value"]:
-                    values.append(rest[0])
-                else:
-                    values.append(dict(zip(value_cols, rest)))
+        axes = tuple(
+            name for name in first.split(":", 1)[1].strip().split(",") if name
+        )
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header[: len(axes)]) != axes:
+            raise ConfigError(
+                f"{source}: header {header!r} does not start with axes {axes!r}"
+            )
+        value_cols = header[len(axes):]
+        rows = []
+        values = []
+        for cells in reader:
+            parsed = [_from_cell(c) for c in cells]
+            rows.append(tuple(parsed[: len(axes)]))
+            rest = parsed[len(axes):]
+            if value_cols == ["value"]:
+                values.append(rest[0])
+            else:
+                values.append(dict(zip(value_cols, rest)))
         grid = SweepGrid(names=axes, rows=tuple(rows))
         points = tuple(
             SweepPoint(params=dict(zip(axes, row)), value=value)
             for row, value in zip(rows, values)
         )
         return cls(grid=grid, points=points)
+
+    @classmethod
+    def from_csv(cls, path) -> "SweepResult":
+        """Read a :meth:`to_csv` file back into a sweep."""
+        with open(path, newline="") as handle:
+            return cls.from_csv_text(handle.read(), source=str(path))
 
 
 _SCALAR_TYPES = (int, float, bool, str)

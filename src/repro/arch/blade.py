@@ -21,6 +21,7 @@ from repro.interconnect.collectives import CollectiveAlgorithm, Fabric
 from repro.interconnect.datalink import DatalinkSpec, baseline_datalink
 from repro.interconnect.packaging import BumpField, chip_to_chip_link
 from repro.interconnect.topology import Torus2D
+from repro.memory.cache import require_l2_policy
 from repro.memory.dram import CryoDRAMBlock
 from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel
 from repro.units import GB, KIB, NS
@@ -43,6 +44,9 @@ class SCDBlade:
     #: Main-memory policy: "dram" (paper main results) or "l2_kv_cache"
     #: (Sec. VI study — the blade L2 becomes a hierarchy level).
     l2_policy: str = "dram"
+
+    def __post_init__(self) -> None:
+        require_l2_policy(self.l2_policy)
 
     # -- derived quantities (Fig. 3c rows) -----------------------------------
     @property

@@ -40,13 +40,20 @@ class SystemConfig:
         Array dimensions per kind (ignored by the kinds they don't apply to).
     dram_bandwidth_tbps / dram_latency_ns:
         Per-accelerator main-memory overrides (the Fig. 5/7 sweep axes).
-    l2_total_bytes / l2_policy:
-        Blade shared-L2 capacity and policy ("dram" or "l2_kv_cache",
-        Sec. VI study).
+    l2_total_bytes / l2_jsram_dies / l2_policy:
+        Blade shared-L2/JSRAM pool capacity — either directly in bytes or
+        bottom-up as a die count
+        (:meth:`~repro.memory.jsram.JSRAMDie.pool_capacity_bytes`; the two
+        are mutually exclusive) — and the per-level memory policy ("dram"
+        or "l2_kv_cache", the Sec. VI KV-cache and Sec. VII JSRAM-residency
+        studies).
     dram_outstanding_kib:
         SCD bandwidth-delay-product budget (sensitivity knob).
     n_accelerators:
         Post-hoc ``with_n`` override (the L2 study's TP-sized subsystems).
+    kernel_overhead_ns:
+        Per-kernel dispatch overhead override on the built accelerator
+        (``0`` is the optimistic end of the Sec. VI "2–4×" band).
     gpu_stream_low_ai / gpu_ib_alpha_us / gpu_kernel_launch_overhead_us:
         H100 calibration overrides (sensitivity knobs).
     """
@@ -59,18 +66,32 @@ class SystemConfig:
     dram_bandwidth_tbps: float | None = None
     dram_latency_ns: float | None = None
     l2_total_bytes: float | None = None
+    l2_jsram_dies: int | None = None
     l2_policy: str = "dram"
     dram_outstanding_kib: float | None = None
     n_accelerators: int | None = None
+    kernel_overhead_ns: float | None = None
     gpu_stream_low_ai: float | None = None
     gpu_ib_alpha_us: float | None = None
     gpu_kernel_launch_overhead_us: float | None = None
 
     def __post_init__(self) -> None:
+        from repro.memory.cache import require_l2_policy
+
         if self.kind not in SYSTEM_KINDS:
             raise ConfigError(
                 f"unknown system kind {self.kind!r}; expected one of "
                 f"{SYSTEM_KINDS}"
+            )
+        require_l2_policy(self.l2_policy)
+        if self.l2_total_bytes is not None and self.l2_jsram_dies is not None:
+            raise ConfigError(
+                "l2_total_bytes and l2_jsram_dies are two spellings of the "
+                "same capacity knob; set at most one"
+            )
+        if self.kernel_overhead_ns is not None and self.kernel_overhead_ns < 0:
+            raise ConfigError(
+                f"kernel_overhead_ns must be >= 0, got {self.kernel_overhead_ns}"
             )
 
     # -- construction -------------------------------------------------------
@@ -84,6 +105,14 @@ class SystemConfig:
             system = system.with_dram_bandwidth(self.dram_bandwidth_tbps * TBPS)
         if self.dram_latency_ns is not None:
             system = system.with_dram_latency(self.dram_latency_ns * NS)
+        if self.kernel_overhead_ns is not None:
+            system = replace(
+                system,
+                accelerator=replace(
+                    system.accelerator,
+                    kernel_overhead=self.kernel_overhead_ns * NS,
+                ),
+            )
         if self.n_accelerators is not None:
             system = system.with_n(self.n_accelerators)
         return system
@@ -99,6 +128,12 @@ class SystemConfig:
         }
         if self.l2_total_bytes is not None:
             kwargs["l2_total_bytes"] = self.l2_total_bytes
+        elif self.l2_jsram_dies is not None:
+            from repro.memory.jsram import JSRAMDie
+
+            kwargs["l2_total_bytes"] = JSRAMDie().pool_capacity_bytes(
+                self.l2_jsram_dies
+            )
         blade = build_blade(**kwargs)
         if self.dram_outstanding_kib is not None:
             blade = replace(

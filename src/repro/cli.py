@@ -1,29 +1,39 @@
-"""``python -m repro`` — run any registered scenario from the shell.
+"""``python -m repro`` — run any scenario from the shell, served from the
+content-addressed result store.
 
 Subcommands:
 
-* ``list [--kind K]``   — registered scenarios (name, kind, description);
-* ``show NAME``         — the scenario spec as JSON (the ``to_dict`` form);
-* ``run NAME``          — execute and print the rendered result;
-* ``sweep NAME``        — execute a grid scenario, optionally fanning points
-  out over ``--workers N``.
+* ``list [--kind K]``    — registered scenarios (name, kind, description);
+* ``show NAME``          — the scenario spec as JSON (the ``to_dict`` form);
+* ``run NAME_OR_FILE``   — execute a registered scenario *or a user scenario
+  JSON file* (``python -m repro run path/to/scenario.json``) and print the
+  rendered result;
+* ``sweep NAME_OR_FILE`` — same, but requires a sweep grid and supports
+  ``--workers N`` process fan-out;
+* ``run-all``            — serve every registered scenario through the batch
+  runner (``--kind`` filters, ``--workers`` fans scenarios out);
+* ``cache stats|clear``  — inspect or empty the result store.
 
-``run`` and ``sweep`` accept ``--out DIR`` to emit the staged artifacts the
-qml-cutensornet-style pipelines use: ``<name>_raw.json`` (spec + per-point
-values), ``<name>.csv`` (grid scenarios) and ``<name>.txt`` (the rendered
-text figure/table).
+``run``/``sweep``/``run-all`` consult the store first (re-running a cached
+scenario is a pure file read; ``served from result store`` is reported on
+stderr), and accept ``--no-cache`` (bypass the store entirely — nothing
+read or written) and ``--cache-dir DIR`` (default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro/scenarios``).  ``--out DIR`` emits the staged artifacts
+the qml-cutensornet-style pipelines use: ``<name>_raw.json`` (spec +
+per-point values), ``<name>.csv`` (grid scenarios) and ``<name>.txt``
+(the rendered text figure/table); cached and recomputed artifacts are
+byte-identical.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
 
 from repro.errors import ConfigError
-from repro.scenarios import REGISTRY, get, run_scenario
-from repro.scenarios.runner import ScenarioResult
+from repro.scenarios import REGISTRY, get
+from repro.scenarios.batch import resolve_scenario, run_many
+from repro.scenarios.store import ResultStore, run_cached
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -47,40 +57,32 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_artifacts(result: ScenarioResult, out_dir: str) -> list[Path]:
-    """The staged pipeline: raw JSON → CSV → rendered text."""
-    directory = Path(out_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    name = result.scenario.name
-    written = []
-
-    raw_path = directory / f"{name}_raw.json"
-    raw_path.write_text(json.dumps(result.to_raw(), indent=2) + "\n")
-    written.append(raw_path)
-
-    if result.sweep is not None:
-        csv_path = directory / f"{name}.csv"
-        result.extracted_sweep().to_csv(csv_path)
-        written.append(csv_path)
-
-    text_path = directory / f"{name}.txt"
-    text_path.write_text(result.render() + "\n")
-    written.append(text_path)
-    return written
+def _store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(args.cache_dir)
 
 
 def _execute(args: argparse.Namespace, require_grid: bool) -> int:
-    scenario = get(args.name)
+    scenario = resolve_scenario(args.name)
     if require_grid and scenario.grid is None:
         print(
-            f"scenario {args.name!r} has no sweep grid; use `run` instead",
+            f"scenario {scenario.name!r} has no sweep grid; use `run` instead",
             file=sys.stderr,
         )
         return 2
-    result = run_scenario(scenario, workers=args.workers)
+    result = run_cached(
+        scenario,
+        _store(args),
+        use_cache=not args.no_cache,
+        workers=args.workers,
+    )
     print(result.render())
+    if result.from_cache:
+        print(
+            f"(served from result store: {result.digest[:12]})",
+            file=sys.stderr,
+        )
     if args.out:
-        for path in _write_artifacts(result, args.out):
+        for path in result.write_artifacts(args.out):
             print(f"wrote {path}")
     return 0
 
@@ -91,6 +93,92 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     return _execute(args, require_grid=True)
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    names = [
+        name
+        for name, scenario in REGISTRY.items()
+        if args.kind is None or scenario.kind == args.kind
+    ]
+    if not names:
+        print(f"no scenarios of kind {args.kind!r}")
+        return 1
+    batch = run_many(
+        names,
+        store=_store(args),
+        use_cache=not args.no_cache,
+        workers=args.workers,
+    )
+    width = max(len(name) for name in names)
+    for entry in batch.entries:
+        status = "cached" if entry.from_cache else "computed"
+        print(f"{entry.name:{width}s}  {status:8s}  {entry.digest[:12]}")
+        if args.out:
+            for path in entry.result.write_artifacts(args.out):
+                print(f"  wrote {path}")
+    stats = batch.stats
+    print(
+        f"served {stats.n_items} scenario(s): {stats.n_from_store} from "
+        f"store, {stats.n_computed} computed, {stats.n_deduplicated} "
+        f"deduplicated (store hit rate {stats.store_hit_rate:.0%})"
+    )
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _store(args)
+    # Count/size what is actually listed (one directory read), so an
+    # unreadable entry can never make the summary disagree with the rows.
+    entries = list(store.entries())
+    print(f"cache dir      {store.cache_dir}")
+    print(f"schema version {store.schema_version}")
+    print(f"entries        {len(entries)}")
+    print(f"total bytes    {sum(entry.size_bytes for entry in entries)}")
+    for entry in entries:
+        print(
+            f"  {entry.digest[:12]}  {entry.kind:9s} "
+            f"{entry.size_bytes:>9d} B  {entry.name}"
+        )
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _store(args)
+    removed = store.clear()
+    print(f"removed {removed} cached result(s) from {store.cache_dir}")
+    return 0
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/scenarios)",
+    )
+
+
+def _add_execute_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan work out over N worker processes",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write raw-JSON/CSV/text artifacts into DIR",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result store (read nothing, write nothing)",
+    )
+    _add_cache_flags(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,24 +198,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.set_defaults(fn=_cmd_show)
 
     for command, fn, help_text in (
-        ("run", _cmd_run, "execute a scenario and print the result"),
+        ("run", _cmd_run, "execute a scenario (registry name or JSON file)"),
         ("sweep", _cmd_sweep, "execute a grid scenario"),
     ):
         p = sub.add_parser(command, help=help_text)
-        p.add_argument("name")
-        p.add_argument(
-            "--workers",
-            type=int,
-            default=None,
-            help="fan sweep points out over N worker processes",
-        )
-        p.add_argument(
-            "--out",
-            default=None,
-            metavar="DIR",
-            help="write raw-JSON/CSV/text artifacts into DIR",
-        )
+        p.add_argument("name", metavar="name_or_file")
+        _add_execute_flags(p)
         p.set_defaults(fn=fn)
+
+    p_all = sub.add_parser(
+        "run-all", help="serve every registered scenario through the batch runner"
+    )
+    p_all.add_argument("--kind", default=None, help="filter by scenario kind")
+    _add_execute_flags(p_all)
+    p_all.set_defaults(fn=_cmd_run_all)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser("stats", help="entry count, sizes, digests")
+    _add_cache_flags(p_stats)
+    p_stats.set_defaults(fn=_cmd_cache_stats)
+    p_clear = cache_sub.add_parser("clear", help="remove every cached result")
+    _add_cache_flags(p_clear)
+    p_clear.set_defaults(fn=_cmd_cache_clear)
     return parser
 
 

@@ -1,8 +1,9 @@
-"""Deprecated single-axis sweep helpers.
+"""Tombstone for the removed single-axis sweep helpers.
 
-Superseded twice over: first by the declarative :mod:`repro.analysis.sweep`
-driver (grids, structured results, process fan-out), and now by the
-scenario API (:mod:`repro.scenarios`) — a DRAM-bandwidth sweep is one
+``sweep_dram_bandwidth`` / ``sweep_dram_latency`` / ``sweep_batch_size``
+(and their ``SweepPoint``) were superseded twice — first by the declarative
+:mod:`repro.analysis.sweep` driver, then by the scenario API — deprecated
+with a warning for one PR, and have now been removed.  The migration is one
 declarative spec::
 
     Scenario.builder("my-sweep").inference("Llama-405B", batch=8) \\
@@ -10,124 +11,28 @@ declarative spec::
         .sweep_product(**{"system.dram_bandwidth_tbps": (1, 2, 4)}) \\
         .extracting("latency").build().run()
 
-These helpers emit :class:`DeprecationWarning` and will be removed once
-downstream callers have migrated; they are no longer re-exported from
-:mod:`repro.core`.
+(see :mod:`repro.scenarios`, or :func:`repro.analysis.sweep.run_sweep` for
+ad-hoc grids).  Accessing the removed names raises with that pointer so
+stale callers fail with directions instead of an opaque ``ImportError``.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
-from typing import Sequence
+_REMOVED = (
+    "SweepPoint",
+    "sweep_dram_bandwidth",
+    "sweep_dram_latency",
+    "sweep_batch_size",
+)
 
-from repro.arch.system import SystemSpec
-from repro.core.model import Optimus
-from repro.core.report import InferenceReport, TrainingReport
-from repro.errors import require_positive
-from repro.parallel.mapper import map_inference, map_training
-from repro.parallel.strategy import ParallelConfig
-from repro.workloads.llm import LLMConfig
+__all__: list[str] = []
 
 
-def _warn_deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.core.sweep.{name} is deprecated; build a Scenario with "
-        f"{replacement} and run it (see repro.scenarios), or use "
-        "repro.analysis.sweep.run_sweep for ad-hoc grids",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One sweep sample: the swept value plus the resulting report."""
-
-    value: float
-    report: TrainingReport | InferenceReport
-
-
-def sweep_dram_bandwidth(
-    model: LLMConfig,
-    system: SystemSpec,
-    bandwidths: Sequence[float],
-    mode: str = "training",
-    parallel: ParallelConfig | None = None,
-    batch: int = 128,
-    **kwargs,
-) -> list[SweepPoint]:
-    """Sweep the per-accelerator main-memory bandwidth (Fig. 5 / Fig. 7)."""
-    _warn_deprecated(
-        "sweep_dram_bandwidth", 'a "system.dram_bandwidth_tbps" sweep axis'
-    )
-    points: list[SweepPoint] = []
-    for bandwidth in bandwidths:
-        require_positive("bandwidth", bandwidth)
-        swept = system.with_dram_bandwidth(bandwidth)
-        optimus = Optimus(swept)
-        if mode == "training":
-            mapped = map_training(
-                model, swept, parallel or ParallelConfig(), batch, **kwargs
-            )
-            report: TrainingReport | InferenceReport = optimus.evaluate_training(
-                mapped
-            )
-        else:
-            mapped = map_inference(model, swept, parallel, batch, **kwargs)
-            report = optimus.evaluate_inference(mapped)
-        points.append(SweepPoint(value=bandwidth, report=report))
-    return points
-
-
-def sweep_dram_latency(
-    model: LLMConfig,
-    system: SystemSpec,
-    latencies: Sequence[float],
-    mode: str = "inference",
-    parallel: ParallelConfig | None = None,
-    batch: int = 8,
-    **kwargs,
-) -> list[SweepPoint]:
-    """Sweep the main-memory access latency (Fig. 7 inset a)."""
-    _warn_deprecated(
-        "sweep_dram_latency", 'a "system.dram_latency_ns" sweep axis'
-    )
-    points: list[SweepPoint] = []
-    for latency in latencies:
-        swept = system.with_dram_latency(latency)
-        optimus = Optimus(swept)
-        if mode == "training":
-            mapped = map_training(
-                model, swept, parallel or ParallelConfig(), batch, **kwargs
-            )
-            report: TrainingReport | InferenceReport = optimus.evaluate_training(
-                mapped
-            )
-        else:
-            mapped = map_inference(model, swept, parallel, batch, **kwargs)
-            report = optimus.evaluate_inference(mapped)
-        points.append(SweepPoint(value=latency, report=report))
-    return points
-
-
-def sweep_batch_size(
-    model: LLMConfig,
-    system: SystemSpec,
-    batches: Sequence[int],
-    parallel: ParallelConfig | None = None,
-    **kwargs,
-) -> list[SweepPoint]:
-    """Sweep the inference batch size (Fig. 7 inset b / Fig. 8b)."""
-    _warn_deprecated("sweep_batch_size", 'a "workload.batch" sweep axis')
-    optimus = Optimus(system)
-    points: list[SweepPoint] = []
-    for batch in batches:
-        mapped = map_inference(model, system, parallel, batch, **kwargs)
-        points.append(
-            SweepPoint(value=float(batch), report=optimus.evaluate_inference(mapped))
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(
+            f"repro.core.sweep.{name} was removed: build a Scenario with a "
+            "dotted sweep axis instead (see repro.scenarios), or use "
+            "repro.analysis.sweep.run_sweep for ad-hoc grids"
         )
-    return points
-
-
-__all__ = ["SweepPoint", "sweep_dram_bandwidth", "sweep_dram_latency", "sweep_batch_size"]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,9 +10,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import require_positive
+from repro.errors import ConfigError, require_positive
 from repro.memory.jsram import JSRAMDie
 from repro.units import GHZ, NS
+
+#: Recognized main-memory policies for the blade-shared L2/JSRAM pool:
+#: ``"dram"`` (paper main results — the L2 exists architecturally but serves
+#: no kernels) or ``"l2_kv_cache"`` (Sec. VI / Sec. VII studies — the pool
+#: becomes a hierarchy level and serves any kernel whose resident footprint
+#: fits its capacity).
+L2_POLICIES = ("dram", "l2_kv_cache")
+
+
+def require_l2_policy(policy: str) -> str:
+    """Validate an L2/JSRAM policy name (the serializable memory knob)."""
+    if policy not in L2_POLICIES:
+        raise ConfigError(
+            f"unknown l2_policy {policy!r}; expected one of {L2_POLICIES}"
+        )
+    return policy
 
 
 @dataclass(frozen=True)
@@ -94,4 +110,10 @@ def l2_slice_spec(
     )
 
 
-__all__ = ["CacheSpec", "l1_from_dies", "l2_slice_spec"]
+__all__ = [
+    "L2_POLICIES",
+    "require_l2_policy",
+    "CacheSpec",
+    "l1_from_dies",
+    "l2_slice_spec",
+]

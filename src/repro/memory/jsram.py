@@ -177,6 +177,13 @@ class JSRAMDie:
         require_positive("capacity_bytes", capacity_bytes)
         return math.ceil(capacity_bytes / self.capacity_bytes * (1.0 - 1e-9))
 
+    def pool_capacity_bytes(self, n_dies: int) -> float:
+        """Usable data capacity of an ``n_dies`` JSRAM pool (inverse of
+        :meth:`dies_for_capacity`) — the bottom-up form of the serializable
+        ``l2_jsram_dies`` system knob."""
+        require_positive("n_dies", n_dies)
+        return n_dies * self.capacity_bytes
+
 
 __all__ = [
     "JSRAMCell",

@@ -13,8 +13,25 @@ the sensitivity tornado and the DSE search under stable names, and
 >>> from repro import scenarios
 >>> result = scenarios.get("fig5").run()
 >>> result.series("achieved_pflops_per_pu")
+
+Results are content-addressed: :mod:`~repro.scenarios.store` keys every
+result on a stable digest of the spec + schema version, so re-running any
+cached scenario is a pure file read, and :mod:`~repro.scenarios.batch`
+serves whole lists of scenarios (names, specs, user JSON files)
+compute-once through the shared caches:
+
+>>> from repro.scenarios import ResultStore, run_many
+>>> batch = run_many(["fig5", "fig6"], store=ResultStore("results/.cache"))
 """
 
+from repro.scenarios.batch import (
+    BatchEntry,
+    BatchResult,
+    BatchStats,
+    load_scenario_file,
+    resolve_scenario,
+    run_many,
+)
 from repro.scenarios.extractors import EXTRACTORS, PointOutcome, extract
 from repro.scenarios.registry import REGISTRY, get, names, register
 from repro.scenarios.runner import (
@@ -30,9 +47,18 @@ from repro.scenarios.spec import (
     ScenarioBuilder,
     WorkloadConfig,
 )
+from repro.scenarios.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoredResult,
+    default_cache_dir,
+    run_cached,
+    scenario_digest,
+)
 
 __all__ = [
     "SCENARIO_KINDS",
+    "SCHEMA_VERSION",
     "TABLE_KINDS",
     "Scenario",
     "ScenarioBuilder",
@@ -41,9 +67,20 @@ __all__ = [
     "EXTRACTORS",
     "extract",
     "ScenarioResult",
+    "StoredResult",
+    "ResultStore",
     "apply_axes",
     "evaluate_scenario",
     "run_scenario",
+    "run_cached",
+    "run_many",
+    "scenario_digest",
+    "default_cache_dir",
+    "load_scenario_file",
+    "resolve_scenario",
+    "BatchEntry",
+    "BatchResult",
+    "BatchStats",
     "REGISTRY",
     "register",
     "get",

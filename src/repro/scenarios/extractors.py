@@ -54,6 +54,7 @@ EXTRACTORS: dict[str, Callable[[PointOutcome], Any]] = {
     # -- inference detail ---------------------------------------------------
     "prefill_time": lambda o: o.report.prefill_time,
     "decode_time": lambda o: o.report.decode_time,
+    "time_per_output_token": lambda o: o.report.time_per_output_token,
     "kv_cache_bytes": lambda o: o.report.kv_cache_bytes,
     # -- training detail ----------------------------------------------------
     "gemm_time_per_layer": lambda o: o.report.fw_gemm_breakdown.total,

@@ -15,10 +15,14 @@ from typing import Iterable
 from repro.arch.config import SystemConfig, gpu_config, scd_blade_config
 from repro.errors import ConfigError
 from repro.scenarios.spec import Scenario, _model_ref
+from repro.units import GB
 from repro.workloads.llm import (
     GPT3_175B,
     GPT3_18B,
     GPT3_76B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
     LLAMA_405B,
     LLAMA_70B,
     MOE_132B,
@@ -392,6 +396,141 @@ def multi_blade_scaling_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Kernel-level memory-policy studies (Sec. VI closing + Sec. VII outlook)
+# ---------------------------------------------------------------------------
+def _model_tp(model: str | LLMConfig) -> int:
+    """The largest blade tensor-parallel degree a model's head count allows.
+
+    The llama2 family has fewer attention heads than the blade has SPUs, so
+    the memory-policy studies run each model on a TP-sized subsystem
+    (``system.n_accelerators`` + the mapper's pure-TP inference default) —
+    a per-model pairing only an explicit grid can express.
+    """
+    llm = model if isinstance(model, LLMConfig) else _zoo_entry(model)
+    return min(llm.n_heads, 64)
+
+
+def l2_kv_cache_scenario(
+    models: tuple[str | LLMConfig, ...] = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B),
+    batch: int = 1,
+    l2_capacity_bytes: float = 4.19 * GB,
+    dram_bandwidth_tbps: float = DEFAULT_BANDWIDTH_TBPS,
+) -> Scenario:
+    """Sec. VI closing study: serving the KV cache out of the blade L2.
+
+    The system under test enables ``l2_policy="l2_kv_cache"`` (the shared
+    L2/JSRAM pool becomes a hierarchy level); the reference system is the
+    identical blade under the paper's main-results ``"dram"`` policy, so the
+    ``speedup`` extractor reads off the L2-residency gain directly.  Each
+    model runs at the largest TP its head count allows, and each point is
+    evaluated both at the baseline per-kernel dispatch overhead and with it
+    zeroed — the paper's "~2–4× depending on the software overhead of
+    launching the kernels" bracket as one declarative sweep.
+    """
+    points = [
+        {
+            "workload.model": _model_ref(model),
+            "system.n_accelerators": _model_tp(model),
+            "ref_system.n_accelerators": _model_tp(model),
+            "system.kernel_overhead_ns": overhead_ns,
+            "ref_system.kernel_overhead_ns": overhead_ns,
+        }
+        for overhead_ns in (None, 0.0)
+        for model in models
+    ]
+    return (
+        Scenario.builder(
+            "l2-kv-cache",
+            "Sec. VI: llama2 decode with the KV cache served from the "
+            "blade L2 vs cryo-DRAM (with/without kernel dispatch overhead)",
+        )
+        .inference(_model_ref(models[0]), batch=batch)
+        .on(
+            SystemConfig(
+                kind="scd_blade",
+                dram_bandwidth_tbps=dram_bandwidth_tbps,
+                l2_total_bytes=l2_capacity_bytes,
+                l2_policy="l2_kv_cache",
+            )
+        )
+        .versus(
+            SystemConfig(
+                kind="scd_blade",
+                dram_bandwidth_tbps=dram_bandwidth_tbps,
+                l2_total_bytes=l2_capacity_bytes,
+                l2_policy="dram",
+            )
+        )
+        .sweep_explicit(points)
+        .extracting("speedup", "latency", "ref_latency", "time_per_output_token")
+        .build()
+    )
+
+
+def jsram_residency_scenario(
+    models: tuple[str | LLMConfig, ...] = (LLAMA2_7B, LLAMA2_13B),
+    capacities_bytes: tuple[float, ...] = (4.19 * GB, 32 * GB, 64 * GB),
+    batch: int = 8,
+    io_tokens: tuple[int, int] = (200, 200),
+    dram_bandwidth_tbps: float = DEFAULT_BANDWIDTH_TBPS,
+) -> Scenario:
+    """Sec. VII outlook: LLM inference out of a huge JSRAM pool.
+
+    Sweeps the blade's shared JSRAM capacity under the ``"l2_kv_cache"``
+    policy against the same blade serving everything from cryo-DRAM; once
+    weights + KV fit the pool, decode streams at torus bandwidth with
+    nanosecond latency (the paper's "new ways of mapping and memory
+    management").
+    """
+    points = [
+        {
+            "workload.model": _model_ref(model),
+            "system.l2_total_bytes": capacity,
+            "system.n_accelerators": _model_tp(model),
+            "ref_system.n_accelerators": _model_tp(model),
+        }
+        for capacity in capacities_bytes
+        for model in models
+    ]
+    return (
+        Scenario.builder(
+            "jsram-residency",
+            "Sec. VII outlook: llama2 inference served from a huge shared "
+            "JSRAM pool (weights + KV resident) vs cryo-DRAM",
+        )
+        .inference(
+            _model_ref(models[0]),
+            batch=batch,
+            input_tokens=io_tokens[0],
+            output_tokens=io_tokens[1],
+        )
+        .on(
+            SystemConfig(
+                kind="scd_blade",
+                dram_bandwidth_tbps=dram_bandwidth_tbps,
+                l2_policy="l2_kv_cache",
+            )
+        )
+        .versus(
+            SystemConfig(
+                kind="scd_blade",
+                dram_bandwidth_tbps=dram_bandwidth_tbps,
+                l2_policy="dram",
+            )
+        )
+        .sweep_explicit(points)
+        .extracting("speedup", "latency", "ref_latency")
+        .build()
+    )
+
+
+def _zoo_entry(name: str) -> LLMConfig:
+    from repro.workloads.llm import MODEL_ZOO
+
+    return MODEL_ZOO[name]
+
+
+# ---------------------------------------------------------------------------
 # Tables
 # ---------------------------------------------------------------------------
 def table1_scenario() -> Scenario:
@@ -480,6 +619,8 @@ for _scenario in (
     quickstart_training_scenario(),
     quickstart_inference_scenario(),
     multi_blade_scaling_scenario(),
+    l2_kv_cache_scenario(),
+    jsram_residency_scenario(),
     table1_scenario(),
     datalink_scenario(),
     blade_spec_scenario(),
@@ -509,6 +650,8 @@ __all__ = [
     "quickstart_training_scenario",
     "quickstart_inference_scenario",
     "multi_blade_scaling_scenario",
+    "l2_kv_cache_scenario",
+    "jsram_residency_scenario",
     "table1_scenario",
     "datalink_scenario",
     "blade_spec_scenario",

@@ -1,0 +1,451 @@
+"""Content-addressed scenario result store: serve-many, compute-once.
+
+Every :class:`~repro.scenarios.spec.Scenario` round-trips losslessly through
+``to_dict``, so a stable digest of that dict **is** the result's identity: a
+sha256 over the canonical (sorted-key, separator-normalized) JSON of the
+spec plus the store's *schema version* — the code-version stamp that is
+bumped whenever the runner, the extractors or the artifact layout change
+meaning.  Any field mutation anywhere in the spec (a swept bandwidth, a
+different batch, a renamed extractor) changes the digest; any schema bump
+orphans every old entry.
+
+The store keeps one JSON file per digest under a cache directory::
+
+    <cache_dir>/<sha256-digest>.json
+        { "format": "repro-scenario-result",
+          "schema_version": 1,
+          "digest": "…",
+          "scenario": { …Scenario.to_dict()… },
+          "artifacts": { "raw": {…}, "text": "…", "csv": "…|null" } }
+
+What is cached is the *artifact payload* — the raw-JSON stage, the rendered
+text figure/table and the CSV stage of the ``python -m repro`` pipeline —
+so a warm :func:`run_cached` is a pure file read: no systems are built, no
+workloads mapped, no kernels timed (the cache-correctness suite asserts the
+kernel-timing counters do not move), and the replayed artifacts are
+byte-identical to the cold run's.
+
+:func:`run_cached` is the store-aware single-scenario entry point; the
+batch runner (:mod:`repro.scenarios.batch`) and the CLI both route through
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConfigError
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import Scenario
+
+#: Result-schema/code version.  Bump whenever the runner, the extractor
+#: vocabulary or the artifact layout change what a stored payload means —
+#: the digest folds it in, so every old entry simply stops matching.
+SCHEMA_VERSION = 1
+
+#: Marker the entry files carry so foreign JSON is never misread as a result.
+STORE_FORMAT = "repro-scenario-result"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entry filename shape: the sha256 digest plus the ``.json`` suffix.
+_DIGEST_NAME = re.compile(r"[0-9a-f]{64}\.json")
+
+
+def default_cache_dir() -> Path:
+    """The store location when none is given: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro/scenarios``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "scenarios"
+
+
+def canonical_spec_json(
+    scenario: Scenario, schema_version: int = SCHEMA_VERSION
+) -> str:
+    """The canonical serialization the digest is computed over."""
+    return json.dumps(
+        {"schema_version": schema_version, "scenario": scenario.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def scenario_digest(
+    scenario: Scenario, schema_version: int = SCHEMA_VERSION
+) -> str:
+    """Content address of a scenario's result: sha256 of the canonical spec
+    JSON + schema version."""
+    return hashlib.sha256(
+        canonical_spec_json(scenario, schema_version).encode()
+    ).hexdigest()
+
+
+def artifact_payload(result: ScenarioResult) -> dict[str, Any]:
+    """The cacheable artifact stages of one scenario result.
+
+    ``raw`` is the spec + per-point extracted values (the ``_raw.json``
+    stage), ``text`` the rendered figure/table, ``csv`` the
+    :meth:`~repro.analysis.sweep.SweepResult.to_csv_text` stage (grid
+    scenarios only).  Everything is plain JSON data, so the payload survives
+    the store round trip — and a process-pool hop — bit-exactly.
+    """
+    payload: dict[str, Any] = {
+        "raw": result.to_raw(),
+        "text": result.render(),
+        "csv": None,
+    }
+    if result.sweep is not None:
+        payload["csv"] = result.extracted_sweep().to_csv_text()
+    return payload
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """An artifact-backed scenario result (cold-computed or cache-replayed).
+
+    Both paths of :func:`run_cached` produce this type, so consumers — the
+    CLI, the batch runner, the golden-fixture tests — see one interface
+    whether the numbers were just computed or replayed from disk.  The
+    extracted series are read back out of the raw payload; the full report
+    objects are intentionally *not* carried (a cache replay never builds
+    them).
+    """
+
+    scenario: Scenario
+    raw: Mapping[str, Any]
+    text: str
+    csv: str | None
+    digest: str
+    from_cache: bool
+
+    # -- artifact stages ----------------------------------------------------
+    def render(self) -> str:
+        """The rendered text figure/table (identical to the cold render)."""
+        return self.text
+
+    def to_raw(self) -> Mapping[str, Any]:
+        """The raw-JSON stage (spec + per-point values)."""
+        return self.raw
+
+    def raw_json(self) -> str:
+        """The exact bytes of the ``<name>_raw.json`` artifact."""
+        return json.dumps(self.raw, indent=2) + "\n"
+
+    def write_artifacts(self, out_dir: str | Path) -> list[Path]:
+        """Write the staged raw-JSON → CSV → text pipeline into ``out_dir``."""
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = self.scenario.name
+        written = []
+
+        raw_path = directory / f"{name}_raw.json"
+        raw_path.write_text(self.raw_json())
+        written.append(raw_path)
+
+        if self.csv is not None:
+            csv_path = directory / f"{name}.csv"
+            with open(csv_path, "w", newline="") as handle:
+                handle.write(self.csv)
+            written.append(csv_path)
+
+        text_path = directory / f"{name}.txt"
+        text_path.write_text(self.text + "\n")
+        written.append(text_path)
+        return written
+
+    # -- series views (mirror ScenarioResult's accessors) -------------------
+    def series(self, name: str) -> tuple[Any, ...]:
+        """One named extractor's values across all points."""
+        series = self.raw.get("series")
+        if series is None or name not in series:
+            raise ConfigError(
+                f"stored result for {self.scenario.name!r} has no series "
+                f"{name!r}"
+            )
+        return tuple(series[name])
+
+    def all_series(self) -> dict[str, tuple[Any, ...]]:
+        """Every extracted series, keyed by extractor name."""
+        return {
+            name: tuple(values)
+            for name, values in self.raw.get("series", {}).items()
+        }
+
+    def axis(self, name: str) -> tuple[Any, ...]:
+        """The swept values of one grid axis."""
+        points = self.raw.get("points")
+        if not points:
+            raise ConfigError(
+                f"stored result for {self.scenario.name!r} has no sweep points"
+            )
+        try:
+            return tuple(point["params"][name] for point in points)
+        except KeyError:
+            raise ConfigError(
+                f"stored result for {self.scenario.name!r} has no axis "
+                f"{name!r}"
+            ) from None
+
+
+def stored_from_payload(
+    scenario: Scenario,
+    payload: Mapping[str, Any],
+    digest: str,
+    from_cache: bool = False,
+) -> StoredResult:
+    """Wrap an artifact payload as a :class:`StoredResult` view."""
+    return StoredResult(
+        scenario=scenario,
+        raw=payload["raw"],
+        text=payload["text"],
+        csv=payload.get("csv"),
+        digest=digest,
+        from_cache=from_cache,
+    )
+
+
+@dataclass
+class StoreStats:
+    """Store traffic counters (process-lifetime, per :class:`ResultStore`)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """On-disk metadata of one cached result (the ``cache stats`` view)."""
+
+    digest: str
+    name: str
+    kind: str
+    path: Path
+    size_bytes: int
+
+
+class ResultStore:
+    """On-disk, content-addressed cache of scenario results.
+
+    ``get`` / ``put`` / ``invalidate`` key on :func:`scenario_digest`; a
+    corrupted or foreign entry file (truncated write, wrong format marker,
+    digest mismatch, stale schema) is counted, removed best-effort and
+    reported as a miss, so the caller always falls back to recompute.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.schema_version = schema_version
+        self.stats = StoreStats()
+
+    # -- addressing ---------------------------------------------------------
+    def digest(self, scenario: Scenario) -> str:
+        """The content address of ``scenario`` under this store's schema."""
+        return scenario_digest(scenario, self.schema_version)
+
+    def path_for(self, scenario: Scenario) -> Path:
+        """The entry file a scenario's result lives in."""
+        return self.cache_dir / f"{self.digest(scenario)}.json"
+
+    # -- traffic ------------------------------------------------------------
+    def get(self, scenario: Scenario) -> StoredResult | None:
+        """The stored result, or ``None`` (miss *or* unusable entry)."""
+        path = self.path_for(scenario)
+        digest = self.digest(scenario)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return self._corrupt(path)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != STORE_FORMAT
+            or entry.get("schema_version") != self.schema_version
+            or entry.get("digest") != digest
+            or not isinstance(entry.get("artifacts"), dict)
+            or not isinstance(entry["artifacts"].get("raw"), dict)
+            or not isinstance(entry["artifacts"].get("text"), str)
+        ):
+            return self._corrupt(path)
+        self.stats.hits += 1
+        return stored_from_payload(
+            scenario, entry["artifacts"], digest, from_cache=True
+        )
+
+    def _corrupt(self, path: Path) -> None:
+        """Count + drop an unusable entry; the caller recomputes."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def put(
+        self,
+        scenario: Scenario,
+        result: ScenarioResult | Mapping[str, Any],
+    ) -> StoredResult:
+        """Store a result (or a pre-built artifact payload) and return the
+        stored view.  The write is atomic (temp file + rename), so a reader
+        never sees a half-written entry."""
+        if isinstance(result, ScenarioResult):
+            payload: Mapping[str, Any] = artifact_payload(result)
+        else:
+            payload = result
+        digest = self.digest(scenario)
+        entry = {
+            "format": STORE_FORMAT,
+            "schema_version": self.schema_version,
+            "digest": digest,
+            "scenario": scenario.to_dict(),
+            "artifacts": {
+                "raw": payload["raw"],
+                "text": payload["text"],
+                "csv": payload.get("csv"),
+            },
+        }
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{digest}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry, indent=1) + "\n")
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return stored_from_payload(scenario, payload, digest)
+
+    def invalidate(self, scenario: Scenario) -> bool:
+        """Drop one scenario's entry; ``True`` if something was removed."""
+        path = self.path_for(scenario)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self.stats.invalidations += removed
+        return removed
+
+    # -- introspection ------------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        """Files that are store entries *by name* (``<64-hex-digest>.json``).
+
+        ``clear()`` unlinks these, so the filter is deliberately strict: a
+        cache dir pointed at a directory holding other JSON must never have
+        that data counted — let alone deleted — as store entries.
+        """
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.cache_dir.glob("*.json")
+            if _DIGEST_NAME.fullmatch(path.name)
+        )
+
+    @property
+    def n_entries(self) -> int:
+        """Entry files currently on disk."""
+        return len(self._entry_paths())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(path.stat().st_size for path in self._entry_paths())
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """On-disk metadata per entry (unreadable files are skipped)."""
+        for path in self._entry_paths():
+            try:
+                entry = json.loads(path.read_text())
+                scenario = entry["scenario"]
+                yield StoreEntry(
+                    digest=entry["digest"],
+                    name=scenario["name"],
+                    kind=scenario["kind"],
+                    path=path,
+                    size_bytes=path.stat().st_size,
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+
+
+def run_cached(
+    scenario: Scenario,
+    store: ResultStore | None = None,
+    *,
+    use_cache: bool = True,
+    workers: int | None = None,
+) -> StoredResult:
+    """Run a scenario through the result store.
+
+    A warm entry is a pure file read (zero mappings, zero kernel timings);
+    a miss computes via :func:`~repro.scenarios.runner.run_scenario` and
+    stores the artifact payload.  ``use_cache=False`` bypasses the store in
+    both directions — nothing is read *or* written (the CLI's
+    ``--no-cache``).
+    """
+    caching = store is not None and use_cache
+    if caching:
+        cached = store.get(scenario)
+        if cached is not None:
+            return cached
+    result = run_scenario(scenario, workers=workers)
+    if caching:
+        return store.put(scenario, result)
+    schema = store.schema_version if store is not None else SCHEMA_VERSION
+    return stored_from_payload(
+        scenario, artifact_payload(result), scenario_digest(scenario, schema)
+    )
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+    "ResultStore",
+    "StoreEntry",
+    "StoreStats",
+    "StoredResult",
+    "artifact_payload",
+    "canonical_spec_json",
+    "default_cache_dir",
+    "run_cached",
+    "scenario_digest",
+    "stored_from_payload",
+]

@@ -1,69 +1,58 @@
-"""Strategy-optimizer tests plus the legacy sweep helpers' deprecation."""
+"""Strategy-optimizer tests plus the legacy sweep helpers' removal."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.optimizer import search_strategies
-from repro.core.report import InferenceReport, TrainingReport
-from repro.core.sweep import (
-    sweep_batch_size,
-    sweep_dram_bandwidth,
-    sweep_dram_latency,
-)
 from repro.errors import MappingError
 from repro.parallel.strategy import ParallelConfig
-from repro.units import TBPS
-from repro.workloads.llm import GPT3_76B, LLAMA_405B
+from repro.workloads.llm import GPT3_76B
 
 PAPER = ParallelConfig(8, 8, 1)
 
 
-class TestLegacySweepsDeprecated:
-    """The single-axis helpers still work but point at the scenario API."""
+class TestLegacySweepsRemoved:
+    """`repro.core.sweep` is a tombstone: nothing exported, clear pointers."""
 
-    def test_bandwidth_sweep_training_warns_and_works(self, scd_system):
-        with pytest.deprecated_call(match="repro.scenarios"):
-            points = sweep_dram_bandwidth(
-                GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
-            )
-        assert len(points) == 2
-        assert all(isinstance(p.report, TrainingReport) for p in points)
-        assert points[1].report.time_per_batch < points[0].report.time_per_batch
+    REMOVED = (
+        "SweepPoint",
+        "sweep_dram_bandwidth",
+        "sweep_dram_latency",
+        "sweep_batch_size",
+    )
 
-    def test_bandwidth_sweep_inference_warns(self, scd_system):
-        with pytest.deprecated_call():
-            points = sweep_dram_bandwidth(
-                LLAMA_405B, scd_system, [1 * TBPS, 8 * TBPS], "inference",
-                None, 8, output_tokens=20,
-            )
-        assert all(isinstance(p.report, InferenceReport) for p in points)
-        assert points[1].report.latency < points[0].report.latency
+    def test_module_exports_nothing(self):
+        import repro.core.sweep as legacy
 
-    def test_latency_sweep_warns(self, scd_system_16tbps):
-        with pytest.deprecated_call():
-            points = sweep_dram_latency(
-                LLAMA_405B, scd_system_16tbps, [10e-9, 200e-9], batch=8,
-                output_tokens=20,
-            )
-        assert points[1].report.latency > points[0].report.latency
+        assert legacy.__all__ == []
+        public = [
+            name
+            for name in vars(legacy)
+            if not name.startswith("_") and name != "annotations"
+        ]
+        assert public == []
 
-    def test_batch_sweep_warns(self, scd_system_16tbps):
-        with pytest.deprecated_call():
-            points = sweep_batch_size(
-                LLAMA_405B, scd_system_16tbps, [4, 16], output_tokens=20
-            )
-        assert points[1].report.latency > points[0].report.latency
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_removed_names_raise_with_migration_pointer(self, name):
+        import repro.core.sweep as legacy
 
-    def test_scenario_equivalent_matches_legacy(self, scd_system):
-        """The migration target reproduces the legacy helper's numbers."""
+        with pytest.raises(AttributeError, match="repro.scenarios"):
+            getattr(legacy, name)
+        with pytest.raises(ImportError, match=name):
+            exec(f"from repro.core.sweep import {name}")
+
+    def test_unknown_attribute_still_plain_error(self):
+        import repro.core.sweep as legacy
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            legacy.nonsense
+
+    def test_migration_target_still_covers_the_helpers(self, scd_system):
+        """The scenario spelling of the old bandwidth sweep works."""
         from repro.arch.config import SystemConfig
         from repro.scenarios import Scenario
 
-        with pytest.deprecated_call():
-            legacy = sweep_dram_bandwidth(
-                GPT3_76B, scd_system, [1 * TBPS, 8 * TBPS], "training", PAPER, 32
-            )
         result = (
             Scenario.builder("legacy-migration")
             .training(GPT3_76B, batch=32)
@@ -74,9 +63,8 @@ class TestLegacySweepsDeprecated:
             .build()
             .run()
         )
-        assert result.series("time_per_batch") == pytest.approx(
-            tuple(p.report.time_per_batch for p in legacy), rel=1e-12
-        )
+        times = result.series("time_per_batch")
+        assert times[1] < times[0]
 
 
 class TestOptimizer:

@@ -1,0 +1,20 @@
+"""Scenario-suite fixtures: keep the result store off the real home dir."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.store import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default result-store location at a per-test directory.
+
+    CLI invocations that do not pass ``--cache-dir`` would otherwise write
+    into the user's ``~/.cache`` (and, worse, *read* stale results from a
+    previous test run there).
+    """
+    cache_dir = tmp_path / "result-store"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+    return cache_dir

@@ -56,6 +56,110 @@ class TestRun:
         assert "No. of SPUs" in capsys.readouterr().out
 
 
+class TestRunCaching:
+    def test_second_run_served_from_store(self, capsys, isolated_cache_dir):
+        assert main(["run", "fig7-gpu"]) == 0
+        first = capsys.readouterr()
+        assert "served from result store" not in first.err
+
+        assert main(["run", "fig7-gpu"]) == 0
+        second = capsys.readouterr()
+        assert "served from result store" in second.err
+        assert second.out == first.out
+
+    def test_no_cache_bypasses_store(self, capsys, isolated_cache_dir):
+        assert main(["run", "fig7-gpu", "--no-cache"]) == 0
+        assert not list(isolated_cache_dir.glob("*.json"))
+        assert main(["run", "fig7-gpu", "--no-cache"]) == 0
+        assert "served from result store" not in capsys.readouterr().err
+
+    def test_cache_dir_flag_overrides_env(self, capsys, tmp_path):
+        cache_dir = tmp_path / "explicit"
+        assert main(["run", "fig7-gpu", "--cache-dir", str(cache_dir)]) == 0
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+    def test_run_user_scenario_file(self, capsys, tmp_path):
+        from repro import scenarios
+
+        path = tmp_path / "my_scenario.json"
+        path.write_text(scenarios.get("fig7-gpu").to_json())
+        assert main(["run", str(path)]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_user_file_shares_registry_content_address(
+        self, capsys, tmp_path
+    ):
+        from repro import scenarios
+
+        assert main(["run", "fig7-gpu"]) == 0
+        capsys.readouterr()
+        path = tmp_path / "same_spec.json"
+        path.write_text(scenarios.get("fig7-gpu").to_json())
+        assert main(["run", str(path)]) == 0
+        assert "served from result store" in capsys.readouterr().err
+
+    def test_bad_scenario_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{]")
+        assert main(["run", str(path)]) == 2
+        assert "not a scenario" in capsys.readouterr().err
+
+    def test_cached_artifacts_byte_identical(self, tmp_path):
+        cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+        assert main(["sweep", "fig6", "--out", str(cold_dir)]) == 0
+        assert main(["sweep", "fig6", "--out", str(warm_dir)]) == 0
+        names = sorted(p.name for p in cold_dir.iterdir())
+        assert names == sorted(p.name for p in warm_dir.iterdir())
+        for name in names:
+            assert (cold_dir / name).read_bytes() == (
+                warm_dir / name
+            ).read_bytes()
+
+
+class TestRunAll:
+    def test_run_all_tables(self, capsys, isolated_cache_dir):
+        assert main(["run-all", "--kind", "table"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2b-datalink", "fig3c-blade-spec", "pcl-flow"):
+            assert name in out
+        assert "4 computed" in out
+
+        assert main(["run-all", "--kind", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "4 from store" in out
+        assert "store hit rate 100%" in out
+
+    def test_run_all_unknown_kind(self, capsys):
+        assert main(["run-all", "--kind", "nope"]) == 1
+
+    def test_run_all_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run-all", "--kind", "table", "--out", str(out_dir)]) == 0
+        assert (out_dir / "table1.txt").is_file()
+        assert (out_dir / "table1_raw.json").is_file()
+
+
+class TestCacheCommands:
+    def test_stats_and_clear(self, capsys, isolated_cache_dir):
+        assert main(["run", "fig7-gpu"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries        1" in out
+        assert "fig7-gpu" in out
+        assert str(isolated_cache_dir) in out
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries        0" in capsys.readouterr().out
+
+    def test_stats_on_missing_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "entries        0" in capsys.readouterr().out
+
+
 class TestSweep:
     def test_requires_grid(self, capsys):
         assert main(["sweep", "quickstart-training"]) == 2

@@ -44,6 +44,8 @@ class TestRegistryBasics:
             "quickstart-training",
             "quickstart-inference",
             "multi-blade-scaling",
+            "l2-kv-cache",
+            "jsram-residency",
             "table1",
             "fig2b-datalink",
             "fig3c-blade-spec",
