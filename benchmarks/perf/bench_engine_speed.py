@@ -14,8 +14,11 @@ engine is ≥5× faster, then writes the measurements to ``BENCH_engine.json``
 at the repo root — the repo's recorded perf trajectory.  Also times the
 batch runner serving the same scenarios out of a warm result store
 (``serve_warm_seconds`` — a pure file-read replay, asserted compute-free)
-and gates both numbers against the committed ``BENCH_baseline.json``: a
->2× regression of either fails the default pytest run.
+and the HTTP daemon serving the same set warm over real sockets
+(``serve_http_warm_seconds`` — one ``POST /run`` per scenario against a
+live ``ThreadingHTTPServer``, asserted compute-free), and gates all three
+numbers against the committed ``BENCH_baseline.json``: a >2× regression of
+any fails the default pytest run.
 Collected in the default pytest run via ``benchmarks/conftest.py``.
 """
 
@@ -168,11 +171,13 @@ def test_engine_speed_vs_seed_flat_timing():
         "serve_scenarios": list(SERVE_SCENARIOS),
         "serve_cold_seconds": serve["cold_seconds"],
         "serve_warm_seconds": serve["warm_seconds"],
+        "serve_http_warm_seconds": serve["http_warm_seconds"],
         "note": (
             "flat_seed_seconds reproduces the pre-engine seed path "
             "(per-replica op walk, no memoization) in the same process; "
             "serve_warm_seconds replays the scenarios from a warm result "
-            "store (pure file reads)"
+            "store (pure file reads); serve_http_warm_seconds serves the "
+            "same warm set over real sockets through the HTTP daemon"
         ),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=1) + "\n")
@@ -183,7 +188,8 @@ def test_engine_speed_vs_seed_flat_timing():
         f"(cache hit rate {cache_stats['hit_rate']:.2%}), "
         f"max series rel err {max_rel_err:.2e}; warm batch serving "
         f"{serve['warm_seconds'] * 1e3:.1f} ms for "
-        f"{len(SERVE_SCENARIOS)} scenarios"
+        f"{len(SERVE_SCENARIOS)} scenarios "
+        f"({serve['http_warm_seconds'] * 1e3:.1f} ms over HTTP)"
     )
 
     assert max_rel_err < 1e-9, errors
@@ -195,15 +201,19 @@ def test_engine_speed_vs_seed_flat_timing():
 
 
 def _measure_warm_serving() -> dict:
-    """Time the batch runner cold (compute + store) and warm (pure reads).
+    """Time the batch runner cold (compute + store), warm (pure reads), and
+    the HTTP daemon serving the same warm set over real sockets.
 
-    The warm pass must be compute-free — the kernel-timing counters are
-    asserted not to move while the store replays every artifact.
+    Both warm passes must be compute-free — the kernel-timing counters are
+    asserted not to move while every artifact is replayed.
     """
+    import http.client
     import tempfile
+    import threading
 
     from repro.scenarios.batch import run_many
     from repro.scenarios.store import ResultStore
+    from repro.serving import create_server
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
         store = ResultStore(tmp)
@@ -221,9 +231,37 @@ def _measure_warm_serving() -> dict:
         assert (cache.hits, cache.misses) == counters, (
             "warm batch serving performed kernel timings"
         )
+
+        # Warm HTTP serving: one POST /run per scenario on a keep-alive
+        # connection against the live threaded daemon.
+        server = create_server(port=0, store=store)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+            counters = (cache.hits, cache.misses)
+            t0 = time.perf_counter()
+            for name in SERVE_SCENARIOS:
+                connection.request(
+                    "POST", "/run", json.dumps({"scenario": name})
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 200 and body["from_cache"], name
+            http_warm_seconds = time.perf_counter() - t0
+            connection.close()
+            assert (cache.hits, cache.misses) == counters, (
+                "warm HTTP serving performed kernel timings"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
     return {
         "cold_seconds": round(cold_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
+        "http_warm_seconds": round(http_warm_seconds, 6),
     }
 
 
@@ -247,7 +285,11 @@ def _gate_against_baseline(result: dict) -> None:
     host_factor = max(
         1.0, result["flat_seed_seconds"] / baseline["flat_seed_seconds"]
     )
-    for metric in ("engine_seconds", "serve_warm_seconds"):
+    for metric in (
+        "engine_seconds",
+        "serve_warm_seconds",
+        "serve_http_warm_seconds",
+    ):
         measured = result[metric]
         allowed = baseline[metric] * GATE_FACTOR * host_factor
         assert measured <= allowed, (

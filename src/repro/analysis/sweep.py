@@ -300,6 +300,15 @@ def _from_cell(cell: str) -> Any:
         return cell
 
 
+#: Multiprocessing start method for the fan-out pool; ``None`` keeps the
+#: platform default (``fork`` on Linux — fastest, and workers inherit the
+#: parent's warm caches).  Processes that run threads — the serving daemon
+#: — must set ``"forkserver"``/``"spawn"`` before fanning out: forking a
+#: multithreaded process can clone a lock mid-acquire and deadlock the
+#: child in bootstrap.
+FANOUT_START_METHOD: str | None = None
+
+
 def _pool_probe() -> None:
     """No-op task used to confirm worker processes actually start."""
 
@@ -371,8 +380,17 @@ def _run_in_processes(
     from concurrent.futures.process import BrokenProcessPool
 
     try:
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-    except (OSError, PermissionError):
+        mp_context = None
+        if FANOUT_START_METHOD is not None:
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(FANOUT_START_METHOD)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        )
+    except (OSError, PermissionError, ValueError):
+        # ValueError: the requested start method does not exist on this
+        # platform — degrade to the serial path like any other pool failure.
         return None
     try:
         # Worker spawn is lazy; probe now so sandboxes without process

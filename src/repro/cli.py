@@ -12,7 +12,10 @@ Subcommands:
   ``--workers N`` process fan-out;
 * ``run-all``            — serve every registered scenario through the batch
   runner (``--kind`` filters, ``--workers`` fans scenarios out);
-* ``cache stats|clear``  — inspect or empty the result store.
+* ``serve``              — run the HTTP serving daemon over the store
+  (``--port --workers --cache-dir --max-cache-bytes --max-cache-entries
+  --shard``);
+* ``cache stats|clear|gc`` — inspect, empty or LRU-shrink the result store.
 
 ``run``/``sweep``/``run-all`` consult the store first (re-running a cached
 scenario is a pure file read; ``served from result store`` is reported on
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time as _time
 
 from repro.errors import ConfigError
 from repro.scenarios import REGISTRY, get
@@ -130,7 +134,11 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     store = _store(args)
     # Count/size what is actually listed (one directory read), so an
     # unreadable entry can never make the summary disagree with the rows.
-    entries = list(store.entries())
+    # Ordered by mtime — the LRU position `cache gc` actually evicts in
+    # (a warm get refreshes it; the age column is the provenance creation
+    # stamp, which never moves).  Pre-provenance entries age-date as
+    # "pre-prov", never as corrupt.
+    entries = sorted(store.entries(), key=lambda entry: entry.mtime)
     print(f"cache dir      {store.cache_dir}")
     print(f"schema version {store.schema_version}")
     print(f"entries        {len(entries)}")
@@ -138,9 +146,23 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     for entry in entries:
         print(
             f"  {entry.digest[:12]}  {entry.kind:9s} "
-            f"{entry.size_bytes:>9d} B  {entry.name}"
+            f"{entry.size_bytes:>9d} B  {_age(entry):>12s}  {entry.name}"
         )
     return 0
+
+
+def _age(entry) -> str:
+    """Human age of one store entry from its provenance stamp."""
+    if entry.provenance is None:
+        return "pre-prov"
+    age = max(0.0, _time.time() - entry.provenance.created_unix)
+    if age < 120:
+        return f"{age:.0f}s old"
+    if age < 7200:
+        return f"{age / 60:.0f}m old"
+    if age < 172800:
+        return f"{age / 3600:.0f}h old"
+    return f"{age / 86400:.0f}d old"
 
 
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
@@ -148,6 +170,41 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     removed = store.clear()
     print(f"removed {removed} cached result(s) from {store.cache_dir}")
     return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _store(args)
+    if args.max_bytes is None and args.max_entries is None:
+        print(
+            "error: cache gc needs --max-bytes and/or --max-entries",
+            file=sys.stderr,
+        )
+        return 2
+    evicted = store.gc(max_bytes=args.max_bytes, max_entries=args.max_entries)
+    for digest in evicted:
+        print(f"evicted {digest[:12]}")
+    print(
+        f"evicted {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'}; "
+        f"{store.n_entries} left ({store.total_bytes} bytes) in "
+        f"{store.cache_dir}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import create_server, serve_forever
+
+    server = create_server(
+        args.host,
+        args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        max_cache_bytes=args.max_cache_bytes,
+        max_cache_entries=args.max_cache_entries,
+        shard=args.shard,
+        quiet=args.quiet,
+    )
+    return serve_forever(server)
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -213,14 +270,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execute_flags(p_all)
     p_all.set_defaults(fn=_cmd_run_all)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the result store")
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP scenario-serving daemon"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8035, help="port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan cold computes out over N worker processes",
+    )
+    p_serve.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the store above this size after every put",
+    )
+    p_serve.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the store above this entry count after every put",
+    )
+    p_serve.add_argument(
+        "--shard",
+        action="store_true",
+        help="write entries under two-hex-prefix shard directories",
+    )
+    p_serve.add_argument(
+        "--verbose",
+        dest="quiet",
+        action="store_false",
+        help="log every request to stderr",
+    )
+    _add_cache_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, clear or garbage-collect the result store"
+    )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
-    p_stats = cache_sub.add_parser("stats", help="entry count, sizes, digests")
+    p_stats = cache_sub.add_parser(
+        "stats", help="entry count, sizes, ages, digests"
+    )
     _add_cache_flags(p_stats)
     p_stats.set_defaults(fn=_cmd_cache_stats)
     p_clear = cache_sub.add_parser("clear", help="remove every cached result")
     _add_cache_flags(p_clear)
     p_clear.set_defaults(fn=_cmd_cache_clear)
+    p_gc = cache_sub.add_parser(
+        "gc", help="LRU-evict entries down to the given caps"
+    )
+    p_gc.add_argument(
+        "--max-bytes", type=int, default=None, help="byte cap to enforce"
+    )
+    p_gc.add_argument(
+        "--max-entries", type=int, default=None, help="entry cap to enforce"
+    )
+    _add_cache_flags(p_gc)
+    p_gc.set_defaults(fn=_cmd_cache_gc)
     return parser
 
 

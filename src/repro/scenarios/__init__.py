@@ -49,6 +49,7 @@ from repro.scenarios.spec import (
 )
 from repro.scenarios.store import (
     SCHEMA_VERSION,
+    Provenance,
     ResultStore,
     StoredResult,
     default_cache_dir,
@@ -68,6 +69,7 @@ __all__ = [
     "extract",
     "ScenarioResult",
     "StoredResult",
+    "Provenance",
     "ResultStore",
     "apply_axes",
     "evaluate_scenario",

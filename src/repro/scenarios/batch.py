@@ -27,6 +27,7 @@ wrappers over this function.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
@@ -157,12 +158,15 @@ class BatchResult:
 
 
 def _compute_payload(scenario: Scenario | None = None) -> dict[str, Any]:
-    """One batch point: run a scenario, return its artifact payload.
+    """One batch point: run a scenario, return its artifact payload and its
+    compute wall time (the provenance stamp of the stored entry).
 
     Top-level (and all-plain-data in and out) so process fan-out can pickle
     the call and ship the result back.
     """
-    return artifact_payload(run_scenario(scenario))
+    t0 = time.perf_counter()
+    payload = artifact_payload(run_scenario(scenario))
+    return {"artifacts": payload, "wall_time_s": time.perf_counter() - t0}
 
 
 def run_many(
@@ -224,9 +228,12 @@ def run_many(
             ),
             workers=workers,
         )
-        for (digest, scenario), payload in zip(to_compute, sweep.values()):
+        for (digest, scenario), outcome in zip(to_compute, sweep.values()):
+            payload = outcome["artifacts"]
             if caching:
-                outcomes[digest] = store.put(scenario, payload)
+                outcomes[digest] = store.put(
+                    scenario, payload, wall_time_s=outcome["wall_time_s"]
+                )
             else:
                 outcomes[digest] = stored_from_payload(
                     scenario, payload, digest

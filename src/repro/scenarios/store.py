@@ -32,10 +32,15 @@ it.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
 import re
+import socket
+import subprocess
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -57,6 +62,16 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Entry filename shape: the sha256 digest plus the ``.json`` suffix.
 _DIGEST_NAME = re.compile(r"[0-9a-f]{64}\.json")
+
+#: A full sha256 content address (the ``/results/<digest>`` route shape).
+_DIGEST = re.compile(r"[0-9a-f]{64}")
+
+#: Shard directory shape: the first two hex characters of the digest.
+_SHARD_DIR = re.compile(r"[0-9a-f]{2}")
+
+#: Orphaned temp files (a writer died mid-put) older than this are swept
+#: by :meth:`ResultStore.gc`.
+STALE_TMP_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -87,6 +102,101 @@ def scenario_digest(
     return hashlib.sha256(
         canonical_spec_json(scenario, schema_version).encode()
     ).hexdigest()
+
+
+def is_digest(value: str) -> bool:
+    """Whether ``value`` is a well-formed content address (64 lowercase hex
+    chars) — the validation behind :meth:`ResultStore.read_digest` and the
+    serving daemon's ``/results`` route."""
+    return bool(_DIGEST.fullmatch(value))
+
+
+@functools.lru_cache(maxsize=1)
+def _code_rev() -> str | None:
+    """The repo's short commit hash, when the package runs from a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where one stored entry came from — *metadata only*.
+
+    Provenance is deliberately **outside** the content address: the digest
+    covers the spec + schema version and nothing else, so re-computing the
+    same scenario on another host, at another time, from another commit
+    lands on the same entry (the property suite pins this down).  It exists
+    to age-date and trace entries: ``cache stats`` and the serving daemon's
+    ``/stats`` surface it, and :meth:`ResultStore.gc` documentation leans on
+    ``created_unix`` for trajectory dashboards.  Pre-provenance entries
+    (written before this field existed) read back as ``None`` — they are
+    valid, just age-dated as oldest.
+    """
+
+    schema_version: int
+    host: str
+    created_unix: float
+    code_rev: str | None = None
+    wall_time_s: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "host": self.host,
+            "created_unix": self.created_unix,
+            "code_rev": self.code_rev,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "Provenance | None":
+        """Read provenance back leniently: anything malformed is ``None``.
+
+        A pre-GC-era entry (no ``provenance`` key) or a hand-edited one must
+        never be treated as corrupt — the artifacts are still good; only the
+        age-dating is unavailable.
+        """
+        if not isinstance(data, Mapping):
+            return None
+        try:
+            return cls(
+                schema_version=int(data["schema_version"]),
+                host=str(data["host"]),
+                created_unix=float(data["created_unix"]),
+                code_rev=(
+                    str(data["code_rev"])
+                    if data.get("code_rev") is not None
+                    else None
+                ),
+                wall_time_s=(
+                    float(data["wall_time_s"])
+                    if data.get("wall_time_s") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def current_provenance(wall_time_s: float | None = None) -> Provenance:
+    """Provenance stamped by this process, right now."""
+    return Provenance(
+        schema_version=SCHEMA_VERSION,
+        host=socket.gethostname(),
+        created_unix=time.time(),
+        code_rev=_code_rev(),
+        wall_time_s=wall_time_s,
+    )
 
 
 def artifact_payload(result: ScenarioResult) -> dict[str, Any]:
@@ -126,6 +236,9 @@ class StoredResult:
     csv: str | None
     digest: str
     from_cache: bool
+    #: Entry metadata (host, wall time, code rev); ``None`` for uncached
+    #: results and pre-provenance entries.  Never part of the digest.
+    provenance: Provenance | None = None
 
     # -- artifact stages ----------------------------------------------------
     def render(self) -> str:
@@ -201,6 +314,7 @@ def stored_from_payload(
     payload: Mapping[str, Any],
     digest: str,
     from_cache: bool = False,
+    provenance: Provenance | None = None,
 ) -> StoredResult:
     """Wrap an artifact payload as a :class:`StoredResult` view."""
     return StoredResult(
@@ -210,6 +324,7 @@ def stored_from_payload(
         csv=payload.get("csv"),
         digest=digest,
         from_cache=from_cache,
+        provenance=provenance,
     )
 
 
@@ -222,10 +337,24 @@ class StoreStats:
     puts: int = 0
     invalidations: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data view (the serving daemon's ``/stats`` payload)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
 
     @property
     def hit_rate(self) -> float:
@@ -242,6 +371,16 @@ class StoreEntry:
     kind: str
     path: Path
     size_bytes: int
+    #: Last-use time (LRU position): ``put`` writes it, a ``get`` hit
+    #: refreshes it, :meth:`ResultStore.gc` evicts ascending.
+    mtime: float = 0.0
+    #: ``None`` for pre-provenance entries — valid, age-dated as oldest.
+    provenance: Provenance | None = None
+
+    @property
+    def created_unix(self) -> float:
+        """Creation time for age-dating; missing provenance ⇒ oldest (0)."""
+        return self.provenance.created_unix if self.provenance else 0.0
 
 
 class ResultStore:
@@ -251,16 +390,45 @@ class ResultStore:
     corrupted or foreign entry file (truncated write, wrong format marker,
     digest mismatch, stale schema) is counted, removed best-effort and
     reported as a miss, so the caller always falls back to recompute.
+
+    Layout: flat by default (``<cache_dir>/<digest>.json``); with
+    ``shard=True`` entries live under a two-hex-prefix directory
+    (``<cache_dir>/ab/abcdef….json``) so very large registries never put
+    tens of thousands of files in one directory.  Reads understand *both*
+    layouts regardless of the flag, so flipping sharding on an existing
+    cache dir never orphans entries — new writes just land in the new
+    layout.
+
+    Eviction: ``max_bytes`` / ``max_entries`` cap the store with LRU
+    semantics over entry mtimes — ``put`` stamps one, a ``get`` hit
+    refreshes it, and :meth:`gc` (invoked automatically after every ``put``
+    when a cap is set, or explicitly / via CLI ``cache gc``) drops the
+    least-recently-used entries until the caps hold.
+
+    Every instance is safe to share across threads, and many processes may
+    point at one cache dir: writes are atomic (unique temp file + rename),
+    readers treat torn/competing state as a miss and self-heal.
     """
 
     def __init__(
         self,
         cache_dir: str | Path | None = None,
         schema_version: int = SCHEMA_VERSION,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        shard: bool = False,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.schema_version = schema_version
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.shard = shard
         self.stats = StoreStats()
+        #: Guards counter updates only — file I/O itself needs no lock
+        #: (atomic rename + validate-on-read), and must not hold one, or
+        #: warm readers would serialize behind each other.
+        self._stats_lock = threading.Lock()
 
     # -- addressing ---------------------------------------------------------
     def digest(self, scenario: Scenario) -> str:
@@ -268,40 +436,98 @@ class ResultStore:
         return scenario_digest(scenario, self.schema_version)
 
     def path_for(self, scenario: Scenario) -> Path:
-        """The entry file a scenario's result lives in."""
-        return self.cache_dir / f"{self.digest(scenario)}.json"
+        """The entry file a scenario's result lives in (write layout)."""
+        return self._path_for_digest(self.digest(scenario))
+
+    def _path_for_digest(self, digest: str) -> Path:
+        if self.shard:
+            return self.cache_dir / digest[:2] / f"{digest}.json"
+        return self.cache_dir / f"{digest}.json"
+
+    def _candidate_paths(self, digest: str) -> tuple[Path, Path]:
+        """This store's layout first, the other layout second."""
+        sharded = self.cache_dir / digest[:2] / f"{digest}.json"
+        flat = self.cache_dir / f"{digest}.json"
+        return (sharded, flat) if self.shard else (flat, sharded)
 
     # -- traffic ------------------------------------------------------------
     def get(self, scenario: Scenario) -> StoredResult | None:
         """The stored result, or ``None`` (miss *or* unusable entry)."""
-        path = self.path_for(scenario)
         digest = self.digest(scenario)
-        try:
-            entry = json.loads(path.read_text())
-        except FileNotFoundError:
-            self.stats.misses += 1
+        entry = self._read_entry(digest)
+        if entry is None:
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return self._corrupt(path)
-        if (
-            not isinstance(entry, dict)
-            or entry.get("format") != STORE_FORMAT
-            or entry.get("schema_version") != self.schema_version
-            or entry.get("digest") != digest
-            or not isinstance(entry.get("artifacts"), dict)
-            or not isinstance(entry["artifacts"].get("raw"), dict)
-            or not isinstance(entry["artifacts"].get("text"), str)
-        ):
-            return self._corrupt(path)
-        self.stats.hits += 1
         return stored_from_payload(
-            scenario, entry["artifacts"], digest, from_cache=True
+            scenario,
+            entry["artifacts"],
+            digest,
+            from_cache=True,
+            provenance=Provenance.from_dict(entry.get("provenance")),
         )
+
+    def read_digest(self, digest: str) -> dict[str, Any] | None:
+        """One entry by bare content address (the ``/results/<digest>``
+        route): the full validated entry dict, or ``None``.
+
+        Raises :class:`~repro.errors.ConfigError` on a malformed digest so
+        callers can distinguish a bad request from a plain miss.
+        """
+        digest = digest.lower()
+        if not is_digest(digest):
+            raise ConfigError(
+                f"malformed result digest {digest!r}: expected 64 hex chars"
+            )
+        return self._read_entry(digest)
+
+    def _read_entry(self, digest: str) -> dict[str, Any] | None:
+        """Load + validate one entry by digest; counts hit/miss/corrupt."""
+        primary, fallback = self._candidate_paths(digest)
+        for path in (primary, fallback):
+            try:
+                entry = json.loads(path.read_text())
+            except FileNotFoundError:
+                continue
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                return self._corrupt(path)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("format") != STORE_FORMAT
+                or entry.get("schema_version") != self.schema_version
+                or entry.get("digest") != digest
+                or not isinstance(entry.get("artifacts"), dict)
+                or not isinstance(entry["artifacts"].get("raw"), dict)
+                or not isinstance(entry["artifacts"].get("text"), str)
+            ):
+                return self._corrupt(path)
+            with self._stats_lock:
+                self.stats.hits += 1
+            self._touch(path)
+            return entry
+        with self._stats_lock:
+            self.stats.misses += 1
+        return None
+
+    def contains(self, digest: str) -> bool:
+        """Whether an entry *file* exists for ``digest``, in either layout.
+
+        A cheap existence probe — no read, no validation, no stats traffic.
+        A ``True`` may still turn into a miss on the real ``get`` (corrupt
+        entry), so use it only as a fast-path hint, never as a guarantee.
+        """
+        return any(path.exists() for path in self._candidate_paths(digest))
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's LRU position; losing the race is harmless."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def _corrupt(self, path: Path) -> None:
         """Count + drop an unusable entry; the caller recomputes."""
-        self.stats.corrupt += 1
-        self.stats.misses += 1
+        with self._stats_lock:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
         try:
             path.unlink()
         except OSError:
@@ -312,43 +538,75 @@ class ResultStore:
         self,
         scenario: Scenario,
         result: ScenarioResult | Mapping[str, Any],
+        *,
+        provenance: Provenance | None = None,
+        wall_time_s: float | None = None,
     ) -> StoredResult:
         """Store a result (or a pre-built artifact payload) and return the
-        stored view.  The write is atomic (temp file + rename), so a reader
-        never sees a half-written entry."""
+        stored view.
+
+        The write is atomic (per-writer-unique temp file + rename), so a
+        reader never sees a half-written entry even with many processes
+        hammering one digest.  Each entry is stamped with
+        :class:`Provenance` (``provenance`` overrides, ``wall_time_s``
+        annotates the default stamp); provenance never feeds the digest.
+        When ``max_bytes``/``max_entries`` caps are set, :meth:`gc` runs
+        after the write.
+        """
         if isinstance(result, ScenarioResult):
             payload: Mapping[str, Any] = artifact_payload(result)
         else:
             payload = result
         digest = self.digest(scenario)
+        if provenance is None:
+            provenance = current_provenance(wall_time_s)
         entry = {
             "format": STORE_FORMAT,
             "schema_version": self.schema_version,
             "digest": digest,
             "scenario": scenario.to_dict(),
+            "provenance": provenance.to_dict(),
             "artifacts": {
                 "raw": payload["raw"],
                 "text": payload["text"],
                 "csv": payload.get("csv"),
             },
         }
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.cache_dir / f"{digest}.json"
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry, indent=1) + "\n")
-        os.replace(tmp, path)
-        self.stats.puts += 1
-        return stored_from_payload(scenario, payload, digest)
+        path = self._path_for_digest(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(entry, indent=1) + "\n")
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        with self._stats_lock:
+            self.stats.puts += 1
+        if self.max_bytes is not None or self.max_entries is not None:
+            self.gc(sweep_tmp=False)
+        return stored_from_payload(
+            scenario, payload, digest, provenance=provenance
+        )
 
     def invalidate(self, scenario: Scenario) -> bool:
         """Drop one scenario's entry; ``True`` if something was removed."""
-        path = self.path_for(scenario)
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            return False
-        self.stats.invalidations += 1
-        return True
+        digest = self.digest(scenario)
+        removed = False
+        for path in self._candidate_paths(digest):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed = True
+        if removed:
+            with self._stats_lock:
+                self.stats.invalidations += 1
+        return removed
 
     def clear(self) -> int:
         """Remove every entry; returns how many were dropped."""
@@ -359,23 +617,112 @@ class ResultStore:
             except OSError:
                 continue
             removed += 1
-        self.stats.invalidations += removed
+        with self._stats_lock:
+            self.stats.invalidations += removed
+        self._prune_shard_dirs()
         return removed
+
+    # -- eviction -----------------------------------------------------------
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        *,
+        sweep_tmp: bool = True,
+    ) -> list[str]:
+        """Enforce the size caps by LRU eviction; returns evicted digests.
+
+        Entries are ordered by mtime (``put`` stamps, ``get`` refreshes) and
+        the least recently used are unlinked until both caps hold.  Explicit
+        arguments override the store's configured caps for this call; with
+        no cap at all this only sweeps stale temp files.  Concurrent
+        evictors racing on the same files are fine — whoever loses the
+        unlink just skips the entry.
+
+        Cost is one directory scan — O(entries on disk), which the caps
+        themselves keep bounded at ~``max_entries`` between runs.  The
+        auto-gc after ``put`` passes ``sweep_tmp=False`` so the routine
+        write path pays for one scan, not two; explicit/CLI gc also sweeps
+        temp files orphaned by writers that died mid-``put``.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_entries is None:
+            max_entries = self.max_entries
+        if sweep_tmp:
+            self._sweep_stale_tmp()
+        if max_bytes is None and max_entries is None:
+            return []
+
+        entries: list[tuple[float, int, Path]] = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest mtime first = least recently used
+
+        total_bytes = sum(size for _, size, _ in entries)
+        n_entries = len(entries)
+        evicted: list[str] = []
+        for _, size, path in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_count = max_entries is not None and n_entries > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total_bytes -= size
+            n_entries -= 1
+            evicted.append(path.name[: -len(".json")])
+        with self._stats_lock:
+            self.stats.evictions += len(evicted)
+        if evicted:
+            self._prune_shard_dirs()
+        return evicted
+
+    def _sweep_stale_tmp(self) -> None:
+        """Drop temp files orphaned by a writer that died mid-``put``."""
+        if not self.cache_dir.is_dir():
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for pattern in ("*.tmp", "[0-9a-f][0-9a-f]/*.tmp"):
+            for path in self.cache_dir.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                except OSError:
+                    continue
+
+    def _prune_shard_dirs(self) -> None:
+        """Remove shard directories left empty by eviction/clearing."""
+        if not self.cache_dir.is_dir():
+            return
+        for child in self.cache_dir.iterdir():
+            if child.is_dir() and _SHARD_DIR.fullmatch(child.name):
+                try:
+                    child.rmdir()  # fails (correctly) unless empty
+                except OSError:
+                    continue
 
     # -- introspection ------------------------------------------------------
     def _entry_paths(self) -> list[Path]:
-        """Files that are store entries *by name* (``<64-hex-digest>.json``).
+        """Files that are store entries *by name* (``<64-hex-digest>.json``),
+        in either layout.
 
-        ``clear()`` unlinks these, so the filter is deliberately strict: a
-        cache dir pointed at a directory holding other JSON must never have
-        that data counted — let alone deleted — as store entries.
+        ``clear()`` and ``gc()`` unlink these, so the filter is deliberately
+        strict: a cache dir pointed at a directory holding other JSON must
+        never have that data counted — let alone deleted — as store entries.
         """
         if not self.cache_dir.is_dir():
             return []
+        candidates = list(self.cache_dir.glob("*.json"))
+        candidates += self.cache_dir.glob("[0-9a-f][0-9a-f]/*.json")
         return sorted(
-            path
-            for path in self.cache_dir.glob("*.json")
-            if _DIGEST_NAME.fullmatch(path.name)
+            path for path in candidates if _DIGEST_NAME.fullmatch(path.name)
         )
 
     @property
@@ -386,7 +733,21 @@ class ResultStore:
     @property
     def total_bytes(self) -> int:
         """Total on-disk size of all entries."""
-        return sum(path.stat().st_size for path in self._entry_paths())
+        return self.disk_usage()[1]
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(n_entries, total_bytes)`` in a single directory scan — what a
+        polled monitoring endpoint should call instead of reading the two
+        properties (and scanning twice)."""
+        count = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
 
     def entries(self) -> Iterator[StoreEntry]:
         """On-disk metadata per entry (unreadable files are skipped)."""
@@ -394,12 +755,15 @@ class ResultStore:
             try:
                 entry = json.loads(path.read_text())
                 scenario = entry["scenario"]
+                stat = path.stat()
                 yield StoreEntry(
                     digest=entry["digest"],
                     name=scenario["name"],
                     kind=scenario["kind"],
                     path=path,
-                    size_bytes=path.stat().st_size,
+                    size_bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    provenance=Provenance.from_dict(entry.get("provenance")),
                 )
             except (OSError, json.JSONDecodeError, KeyError, TypeError):
                 continue
@@ -425,9 +789,11 @@ def run_cached(
         cached = store.get(scenario)
         if cached is not None:
             return cached
+    t0 = time.perf_counter()
     result = run_scenario(scenario, workers=workers)
+    wall_time_s = time.perf_counter() - t0
     if caching:
-        return store.put(scenario, result)
+        return store.put(scenario, result, wall_time_s=wall_time_s)
     schema = store.schema_version if store is not None else SCHEMA_VERSION
     return stored_from_payload(
         scenario, artifact_payload(result), scenario_digest(scenario, schema)
@@ -437,14 +803,18 @@ def run_cached(
 __all__ = [
     "CACHE_DIR_ENV",
     "SCHEMA_VERSION",
+    "STALE_TMP_SECONDS",
     "STORE_FORMAT",
+    "Provenance",
     "ResultStore",
     "StoreEntry",
     "StoreStats",
     "StoredResult",
     "artifact_payload",
     "canonical_spec_json",
+    "current_provenance",
     "default_cache_dir",
+    "is_digest",
     "run_cached",
     "scenario_digest",
     "stored_from_payload",

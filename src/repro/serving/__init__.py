@@ -1,0 +1,43 @@
+"""Digest-cached scenario serving daemon (``python -m repro serve``).
+
+The HTTP/IPC front-end over the content-addressed result store and the
+batch runner: ``GET /scenarios`` lists the registry, ``POST /run``
+executes named scenarios, inline specs or whole batches through
+:func:`~repro.scenarios.batch.run_many`, and warm results are served
+straight from the :class:`~repro.scenarios.store.ResultStore` as pure
+file reads with the spec digest as the ``ETag`` (``If-None-Match`` ⇒
+``304``).  Routing lives in :mod:`~repro.serving.app` (socket-free,
+fuzz-tested); the stdlib ``ThreadingHTTPServer`` adapter in
+:mod:`~repro.serving.server`.
+
+>>> from repro.serving import create_server
+>>> server = create_server(port=0)          # ephemeral port
+>>> server.url
+'http://127.0.0.1:...'
+"""
+
+from repro.serving.app import (
+    MAX_BATCH_ITEMS,
+    MAX_BODY_BYTES,
+    Response,
+    ServeStats,
+    ServingApp,
+    error_response,
+    etag_for,
+    if_none_match_matches,
+)
+from repro.serving.server import ReproHTTPServer, create_server, serve_forever
+
+__all__ = [
+    "MAX_BATCH_ITEMS",
+    "MAX_BODY_BYTES",
+    "Response",
+    "ServeStats",
+    "ServingApp",
+    "ReproHTTPServer",
+    "create_server",
+    "error_response",
+    "etag_for",
+    "if_none_match_matches",
+    "serve_forever",
+]

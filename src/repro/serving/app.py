@@ -1,0 +1,546 @@
+"""Routing core of the scenario serving daemon — HTTP-free and testable.
+
+:class:`ServingApp` maps ``(method, path, body, headers)`` to a
+:class:`Response` without touching a socket, so the request-handling
+contract (status codes, structured error JSON, ``ETag``/``If-None-Match``
+semantics) can be unit- and fuzz-tested in-process at memory speed; the
+thin :mod:`repro.serving.server` layer adapts it onto
+``http.server.ThreadingHTTPServer``.
+
+Routes (all responses are JSON)::
+
+    GET  /healthz            liveness + schema version
+    GET  /stats              server counters + store stats + provenance
+    GET  /scenarios          the registry (name, kind, description, digest)
+    GET  /scenarios/<name>   one spec (the ``to_dict`` form) + its digest
+    POST /run                run one scenario ({"scenario": name-or-spec})
+                             or a batch ({"scenarios": [...]})
+    GET  /results/<digest>   one stored entry by bare content address
+
+Caching contract: the response to ``POST /run`` and ``GET /results/…`` is
+fully determined by the spec digest (the store's content address), so the
+digest **is** the ``ETag`` — a request carrying a matching
+``If-None-Match`` is answered ``304`` before the store is even consulted,
+a warm digest is served straight from the :class:`ResultStore` as a pure
+file read, and only genuine misses enter the compute path (serialized
+under one lock so concurrent cold requests share, not duplicate, the
+process-wide mapping/timing caches).
+
+Error contract: every failure is a structured JSON body
+``{"error": <slug>, "detail": <human text>}`` with the right 4xx status —
+malformed JSON is 400, an unknown scenario or digest is 404, an over-size
+body is 413, a wrong method on a known path is 405.  Unexpected exceptions
+become a 500 with a generic body: no traceback ever leaves the process.
+
+Scenario references over the wire are **registry names or inline spec
+dicts only** — unlike the CLI, a request body can not name a server-side
+file path (a network peer must never drive local file reads).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.scenarios.batch import run_many
+from repro.scenarios.registry import REGISTRY
+from repro.scenarios.spec import Scenario
+from repro.scenarios.store import ResultStore, is_digest, run_cached
+
+#: Default request-body ceiling: far above any sane inline spec (the
+#: largest registry spec serializes to ~2 KiB) yet small enough that a
+#: misdirected upload cannot balloon the process.
+MAX_BODY_BYTES = 1 << 20
+
+#: Batch ceiling for one ``POST /run`` request.
+MAX_BATCH_ITEMS = 256
+
+#: ``/stats`` provenance scan ceiling: summarizing provenance means JSON-
+#: parsing whole entry files (artifact payloads included), so a monitoring
+#: endpoint polled against a huge store must bound how many it opens.
+#: Entry counts and byte totals always come from ``stat`` alone.
+MAX_STATS_PROVENANCE_SCAN = 256
+
+
+@dataclass(frozen=True)
+class Response:
+    """One routed response: status, JSON body (``None`` ⇒ bodyless 304),
+    and extra headers (``ETag``)."""
+
+    status: int
+    body: Any
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    def body_bytes(self) -> bytes:
+        """The serialized JSON body (empty for bodyless responses)."""
+        if self.body is None:
+            return b""
+        return (json.dumps(self.body, indent=1) + "\n").encode()
+
+
+def error_response(status: int, error: str, detail: str) -> Response:
+    """A structured error body — the only shape failures ever take."""
+    return Response(status, {"error": error, "detail": detail})
+
+
+def etag_for(digest: str) -> str:
+    """The strong validator for a digest-addressed representation."""
+    return f'"{digest}"'
+
+
+def if_none_match_matches(header: str | None, digest: str) -> bool:
+    """RFC-ish ``If-None-Match`` check against a digest ETag.
+
+    Accepts a comma-separated list, quoted or bare tags, weak (``W/``)
+    prefixes and ``*``; anything unparseable simply does not match.
+    """
+    if not header:
+        return False
+    for candidate in header.split(","):
+        tag = candidate.strip()
+        if tag == "*":
+            return True
+        if tag.startswith(("W/", "w/")):
+            tag = tag[2:]
+        if tag.startswith('"') and tag.endswith('"') and len(tag) >= 2:
+            tag = tag[1:-1]
+        if tag == digest:
+            return True
+    return False
+
+
+@dataclass
+class ServeStats:
+    """Process-lifetime serving counters (the ``/stats`` ``server`` block)."""
+
+    started_unix: float = field(default_factory=time.time)
+    requests: int = 0
+    runs: int = 0
+    served_from_store: int = 0
+    computed: int = 0
+    not_modified: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uptime_s": time.time() - self.started_unix,
+            "requests": self.requests,
+            "runs": self.runs,
+            "served_from_store": self.served_from_store,
+            "computed": self.computed,
+            "not_modified": self.not_modified,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+        }
+
+
+class ServingApp:
+    """The daemon's request router over one :class:`ResultStore`."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        *,
+        workers: int | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.max_body_bytes = max_body_bytes
+        if workers:
+            # This process runs handler threads; fork-based fan-out could
+            # clone a lock mid-acquire and deadlock the child.  Forkserver
+            # workers start from a clean, threadless helper process.
+            from repro.analysis import sweep
+
+            if sweep.FANOUT_START_METHOD is None:
+                sweep.FANOUT_START_METHOD = "forkserver"
+        self.stats = ServeStats()
+        #: Cold computes are serialized: concurrent misses queue here and
+        #: re-check the store, so N identical cold requests compute once
+        #: while warm traffic streams past lock-free.
+        self._compute_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    # -- entry point --------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        """Route one request; never raises."""
+        lowered = {
+            str(key).lower(): str(value)
+            for key, value in (headers or {}).items()
+        }
+        self._count("requests")
+        try:
+            response = self._route(method.upper(), path, body, lowered)
+        except ConfigError as exc:
+            response = error_response(400, "bad-request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — the no-traceback contract
+            response = error_response(
+                500, "internal", f"unexpected {type(exc).__name__}"
+            )
+        if 400 <= response.status < 500:
+            self._count("client_errors")
+        elif response.status >= 500:
+            self._count("server_errors")
+        elif response.status == 304:
+            self._count("not_modified")
+        return response
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + n)
+
+    # -- routing ------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str],
+    ) -> Response:
+        path = path.split("?", 1)[0]
+        parts = [part for part in path.split("/") if part]
+
+        if parts == ["healthz"]:
+            return self._require_get(method) or self._handle_healthz()
+        if parts == ["stats"]:
+            return self._require_get(method) or self._handle_stats()
+        if parts == ["scenarios"]:
+            return self._require_get(method) or self._handle_scenarios()
+        if len(parts) == 2 and parts[0] == "scenarios":
+            return self._require_get(method) or self._handle_scenario(
+                parts[1], headers
+            )
+        if len(parts) == 2 and parts[0] == "results":
+            return self._require_get(method) or self._handle_result(
+                parts[1], headers
+            )
+        if parts == ["run"]:
+            if method != "POST":
+                return error_response(
+                    405, "method-not-allowed", "POST /run"
+                )
+            return self._handle_run(body, headers)
+        return error_response(404, "not-found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require_get(method: str) -> Response | None:
+        if method != "GET":
+            return error_response(
+                405, "method-not-allowed", "this route is GET-only"
+            )
+        return None
+
+    # -- GET routes ---------------------------------------------------------
+    def _handle_healthz(self) -> Response:
+        return Response(
+            200,
+            {"status": "ok", "schema_version": self.store.schema_version},
+        )
+
+    def _handle_stats(self) -> Response:
+        n_entries, total_bytes = self.store.disk_usage()  # one stat scan
+        scanned = list(
+            itertools.islice(self.store.entries(), MAX_STATS_PROVENANCE_SCAN)
+        )
+        with_provenance = [e for e in scanned if e.provenance is not None]
+        # Min/max over *stamped* entries only: the created_unix=0.0
+        # age-dating sentinel of pre-provenance entries must not leak a
+        # fabricated 1970 timestamp into a dashboard.
+        stamps = [e.provenance.created_unix for e in with_provenance]
+        provenance_block = {
+            "entries_scanned": len(scanned),
+            "entries_with_provenance": len(with_provenance),
+            "entries_missing_provenance": len(scanned) - len(with_provenance),
+            "oldest_created_unix": min(stamps) if stamps else None,
+            "newest_created_unix": max(stamps) if stamps else None,
+            "hosts": sorted(
+                {entry.provenance.host for entry in with_provenance}
+            ),
+            "code_revs": sorted(
+                {
+                    entry.provenance.code_rev
+                    for entry in with_provenance
+                    if entry.provenance.code_rev is not None
+                }
+            ),
+        }
+        return Response(
+            200,
+            {
+                "server": self.stats.to_dict(),
+                "store": {
+                    "cache_dir": str(self.store.cache_dir),
+                    "schema_version": self.store.schema_version,
+                    "shard": self.store.shard,
+                    "max_bytes": self.store.max_bytes,
+                    "max_entries": self.store.max_entries,
+                    # stat-only: never scales with cached payload bytes.
+                    "n_entries": n_entries,
+                    "total_bytes": total_bytes,
+                    "counters": self.store.stats.to_dict(),
+                    "provenance": provenance_block,
+                },
+            },
+        )
+
+    def _handle_scenarios(self) -> Response:
+        return Response(
+            200,
+            {
+                "scenarios": [
+                    {
+                        "name": scenario.name,
+                        "kind": scenario.kind,
+                        "description": scenario.description,
+                        "digest": self.store.digest(scenario),
+                    }
+                    for scenario in REGISTRY.values()
+                ]
+            },
+        )
+
+    def _handle_scenario(
+        self, name: str, headers: Mapping[str, str]
+    ) -> Response:
+        scenario = REGISTRY.get(name)
+        if scenario is None:
+            return error_response(
+                404, "unknown-scenario", f"no registered scenario {name!r}"
+            )
+        digest = self.store.digest(scenario)
+        if if_none_match_matches(headers.get("if-none-match"), digest):
+            return Response(304, None, {"ETag": etag_for(digest)})
+        return Response(
+            200,
+            {"name": name, "digest": digest, "spec": scenario.to_dict()},
+            {"ETag": etag_for(digest)},
+        )
+
+    def _handle_result(
+        self, digest: str, headers: Mapping[str, str]
+    ) -> Response:
+        # Normalize before the validator comparison too: a request for
+        # /results/ABC… must match (and re-issue) the lowercase ETag the
+        # server hands out.
+        digest = digest.lower()
+        if not is_digest(digest):
+            return error_response(
+                400,
+                "bad-digest",
+                f"malformed result digest {digest!r}: expected 64 hex chars",
+            )
+        # The representation is immutable per digest: a matching validator
+        # plus a stat-only existence probe answers the bodyless 304 without
+        # reading (or even JSON-parsing) the artifact payload.
+        if if_none_match_matches(headers.get("if-none-match"), digest):
+            if self.store.contains(digest):
+                return Response(304, None, {"ETag": etag_for(digest)})
+            return error_response(
+                404, "unknown-digest", f"no stored result {digest!r}"
+            )
+        entry = self.store.read_digest(digest)
+        if entry is None:
+            return error_response(
+                404, "unknown-digest", f"no stored result {digest!r}"
+            )
+        return Response(
+            200,
+            {
+                "digest": entry["digest"],
+                "scenario": entry["scenario"],
+                "provenance": entry.get("provenance"),
+                "artifacts": entry["artifacts"],
+            },
+            {"ETag": etag_for(entry["digest"])},
+        )
+
+    # -- POST /run ----------------------------------------------------------
+    def _handle_run(
+        self, body: bytes, headers: Mapping[str, str]
+    ) -> Response:
+        if len(body) > self.max_body_bytes:
+            return error_response(
+                413,
+                "payload-too-large",
+                f"body exceeds {self.max_body_bytes} bytes",
+            )
+        if not body:
+            return error_response(
+                400, "empty-body", 'expected {"scenario": …} JSON'
+            )
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return error_response(400, "invalid-json", str(exc))
+        if not isinstance(request, dict):
+            return error_response(
+                400, "invalid-request", "request body must be a JSON object"
+            )
+        has_single = "scenario" in request
+        has_batch = "scenarios" in request
+        if has_single == has_batch:
+            return error_response(
+                400,
+                "invalid-request",
+                'exactly one of "scenario" or "scenarios" is required',
+            )
+        if has_single:
+            return self._run_single(request["scenario"], headers)
+        return self._run_batch(request["scenarios"])
+
+    def _resolve(self, item: Any) -> Scenario | Response:
+        """A registry name or inline spec dict — never a server-side path."""
+        if isinstance(item, str):
+            scenario = REGISTRY.get(item)
+            if scenario is None:
+                return error_response(
+                    404,
+                    "unknown-scenario",
+                    f"no registered scenario {item!r} "
+                    "(inline specs must be JSON objects)",
+                )
+            return scenario
+        if isinstance(item, dict):
+            try:
+                return Scenario.from_dict(item)
+            except (ConfigError, ValueError, TypeError, KeyError) as exc:
+                return error_response(
+                    400, "invalid-scenario", f"not a scenario spec: {exc}"
+                )
+        return error_response(
+            400,
+            "invalid-scenario",
+            "a scenario reference must be a registry name or a spec object",
+        )
+
+    def _run_single(
+        self, item: Any, headers: Mapping[str, str]
+    ) -> Response:
+        resolved = self._resolve(item)
+        if isinstance(resolved, Response):
+            return resolved
+        digest = self.store.digest(resolved)
+        if if_none_match_matches(headers.get("if-none-match"), digest):
+            return Response(304, None, {"ETag": etag_for(digest)})
+        self._count("runs")
+        result = self.store.get(resolved)
+        if result is None:
+            with self._compute_lock:
+                # Re-checked inside: a request that queued behind the
+                # identical cold compute is served its freshly stored entry.
+                result = run_cached(
+                    resolved, self.store, workers=self.workers
+                )
+        if result.from_cache:
+            self._count("served_from_store")
+        else:
+            self._count("computed")
+        return Response(
+            200,
+            {
+                "name": resolved.name,
+                "digest": digest,
+                "from_cache": result.from_cache,
+                "provenance": (
+                    result.provenance.to_dict() if result.provenance else None
+                ),
+                "artifacts": {
+                    "raw": result.raw,
+                    "text": result.text,
+                    "csv": result.csv,
+                },
+            },
+            {"ETag": etag_for(digest)},
+        )
+
+    def _run_batch(self, items: Any) -> Response:
+        if not isinstance(items, list) or not items:
+            return error_response(
+                400, "invalid-request", '"scenarios" must be a non-empty list'
+            )
+        if len(items) > MAX_BATCH_ITEMS:
+            return error_response(
+                413,
+                "batch-too-large",
+                f"at most {MAX_BATCH_ITEMS} scenarios per request",
+            )
+        resolved: list[Scenario] = []
+        for item in items:
+            scenario = self._resolve(item)
+            if isinstance(scenario, Response):
+                return scenario
+            resolved.append(scenario)
+        self._count("runs", len(resolved))
+        # An all-warm batch is pure file reads — let it stream past the
+        # compute lock instead of queueing behind someone's cold compute.
+        # The probe is a hint: if an entry turns out corrupt, run_many
+        # recomputes it without the lock (duplicate work in a rare race,
+        # never a wrong answer).
+        all_warm = all(
+            self.store.contains(self.store.digest(scenario))
+            for scenario in resolved
+        )
+        if all_warm:
+            batch = run_many(
+                resolved, store=self.store, workers=self.workers
+            )
+        else:
+            with self._compute_lock:
+                batch = run_many(
+                    resolved, store=self.store, workers=self.workers
+                )
+        self._count("served_from_store", batch.stats.n_from_store)
+        self._count("computed", batch.stats.n_computed)
+        return Response(
+            200,
+            {
+                "entries": [
+                    {
+                        "name": entry.name,
+                        "digest": entry.digest,
+                        "from_cache": entry.from_cache,
+                        "deduplicated": entry.deduplicated,
+                        "artifacts": {
+                            "raw": entry.result.raw,
+                            "text": entry.result.text,
+                            "csv": entry.result.csv,
+                        },
+                    }
+                    for entry in batch.entries
+                ],
+                "stats": {
+                    "n_items": batch.stats.n_items,
+                    "n_unique": batch.stats.n_unique,
+                    "n_from_store": batch.stats.n_from_store,
+                    "n_computed": batch.stats.n_computed,
+                    "n_deduplicated": batch.stats.n_deduplicated,
+                    "store_hit_rate": batch.stats.store_hit_rate,
+                },
+            },
+        )
+
+
+__all__ = [
+    "MAX_BATCH_ITEMS",
+    "MAX_BODY_BYTES",
+    "MAX_STATS_PROVENANCE_SCAN",
+    "Response",
+    "ServeStats",
+    "ServingApp",
+    "error_response",
+    "etag_for",
+    "if_none_match_matches",
+]

@@ -1,0 +1,232 @@
+"""HTTP plumbing for the scenario serving daemon.
+
+A thin stdlib-only adapter: :class:`ReproHTTPServer` is a
+``ThreadingHTTPServer`` whose handler forwards every request to the
+attached :class:`~repro.serving.app.ServingApp` and writes the returned
+:class:`~repro.serving.app.Response` back out — all routing, caching and
+error semantics live in the app (where they are fuzz-tested without
+sockets).
+
+The server is threaded so warm traffic scales: every worker thread serves
+store hits as pure file reads concurrently, while cold computes are
+serialized by the app's compute lock.  ``HTTP/1.1`` keep-alive is enabled
+(every response carries an exact ``Content-Length``); over-size uploads
+are rejected *before* the body is read, and the connection is closed so an
+unread body can never desynchronize the stream.
+
+Usage::
+
+    server = create_server(port=0, store=ResultStore(cache_dir))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    ...
+    server.shutdown(); server.server_close()
+
+or from the shell: ``python -m repro serve --port 8035``.
+"""
+
+from __future__ import annotations
+
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.scenarios.store import ResultStore
+from repro.serving.app import MAX_BODY_BYTES, Response, ServingApp, error_response
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServingApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        server_address: tuple[str, int],
+        app: ServingApp,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        self.app = app
+        self.quiet = quiet
+        super().__init__(server_address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    # Without this, Nagle + the client's delayed ACK cost ~40 ms per
+    # keep-alive round trip — two orders of magnitude over the warm
+    # file-read serving path this daemon exists for.
+    disable_nagle_algorithm = True
+    # Socket read timeout: a client that declares a Content-Length and then
+    # goes silent must not pin a handler thread forever (slowloris).
+    timeout = 60
+
+    # -- plumbing -----------------------------------------------------------
+    def _read_body(self) -> bytes | Response:
+        """The request body, or an error/oversize :class:`Response`.
+
+        The over-size check runs on the declared length *before* reading:
+        the error response closes the connection, so the unread body can
+        never be misparsed as a followup request.  Chunked uploads carry no
+        up-front length to check, so they are rejected with 411 outright.
+        """
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            return error_response(
+                411,
+                "length-required",
+                "chunked bodies are not accepted; send Content-Length",
+            )
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return b""
+        try:
+            length = int(length_header)
+        except ValueError:
+            self.close_connection = True
+            return error_response(
+                400, "bad-content-length", f"not a length: {length_header!r}"
+            )
+        if length < 0:
+            self.close_connection = True
+            return error_response(
+                400, "bad-content-length", "negative Content-Length"
+            )
+        if length > self.server.app.max_body_bytes:
+            self.close_connection = True
+            return error_response(
+                413,
+                "payload-too-large",
+                f"body exceeds {self.server.app.max_body_bytes} bytes",
+            )
+        return self.rfile.read(length)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            body = b""
+            if method == "POST":
+                body = self._read_body()
+                if isinstance(body, Response):
+                    self._send(body)
+                    return
+            elif self.headers.get("Content-Length", "0") not in (
+                "0",
+                "",
+            ) or self.headers.get("Transfer-Encoding"):
+                # A body on a non-POST verb is never read here; close the
+                # connection so the leftover bytes cannot be parsed as the
+                # next pipelined request.
+                self.close_connection = True
+            # HEAD routes like GET but sends headers only — /healthz must
+            # answer load-balancer HEAD probes, not a stdlib HTML 501.
+            routed = "GET" if method == "HEAD" else method
+            response = self.server.app.handle(
+                routed, self.path, body, dict(self.headers.items())
+            )
+            self._send(response, head_only=method == "HEAD")
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client hung up (or went silent) mid-exchange; nothing to
+            # answer.
+            self.close_connection = True
+
+    def _send(self, response: Response, head_only: bool = False) -> None:
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if self.close_connection:
+            # Tell the peer, not just TCP: no keep-alive after this one.
+            self.send_header("Connection", "close")
+        if response.status == 304:
+            # Bodyless by definition: no Content-Length, no payload.
+            self.end_headers()
+            return
+        payload = response.body_bytes()
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if not head_only:
+            self.wfile.write(payload)
+
+    # -- verbs --------------------------------------------------------------
+    # Every verb routes through the app, so even a wrong-method request
+    # gets the structured-JSON 405/404 contract instead of the stdlib's
+    # HTML 501 page.
+    def do_GET(self) -> None:  # noqa: N802 — http.server's naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._dispatch("PATCH")
+
+    def do_OPTIONS(self) -> None:  # noqa: N802
+        self._dispatch("OPTIONS")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    store: ResultStore | None = None,
+    cache_dir: str | Path | None = None,
+    workers: int | None = None,
+    max_cache_bytes: int | None = None,
+    max_cache_entries: int | None = None,
+    shard: bool = False,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    quiet: bool = True,
+) -> ReproHTTPServer:
+    """Build a ready-to-serve daemon (``port=0`` binds an ephemeral port).
+
+    Pass a :class:`ResultStore` directly, or the store knobs
+    (``cache_dir``/``max_cache_bytes``/``max_cache_entries``/``shard``)
+    to have one built.
+    """
+    if store is None:
+        store = ResultStore(
+            cache_dir,
+            max_bytes=max_cache_bytes,
+            max_entries=max_cache_entries,
+            shard=shard,
+        )
+    app = ServingApp(store, workers=workers, max_body_bytes=max_body_bytes)
+    return ReproHTTPServer((host, port), app, quiet=quiet)
+
+
+def serve_forever(server: ReproHTTPServer) -> int:
+    """Run until interrupted (the CLI's blocking loop); returns exit code."""
+    print(
+        f"repro serving on {server.url} "
+        f"(cache dir {server.app.store.cache_dir})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+__all__ = ["ReproHTTPServer", "create_server", "serve_forever"]

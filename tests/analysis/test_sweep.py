@@ -105,6 +105,17 @@ class TestRunSweep:
         result = run_sweep(lambda x: x * 3, grid, workers=2)
         assert result.values() == (3.0, 6.0)
 
+    def test_unavailable_start_method_falls_back_to_serial(self, monkeypatch):
+        """A bogus FANOUT_START_METHOD degrades like any pool failure."""
+        from repro.analysis import sweep as sweep_module
+
+        monkeypatch.setattr(
+            sweep_module, "FANOUT_START_METHOD", "no-such-method"
+        )
+        grid = SweepGrid.product(x=(1.0, 2.0))
+        result = run_sweep(scaled_sum, grid, common={"scale": 2.0}, workers=2)
+        assert result.values() == (2.0, 4.0)
+
     def test_point_error_propagates(self):
         def boom(x):
             raise ValueError("bad point")

@@ -236,3 +236,18 @@ class TestWorkersFanout:
         fanned = run_many(["fig6", "fig7-gpu"], workers=2)
         for a, b in zip(serial.entries, fanned.entries):
             assert a.result.raw_json() == b.result.raw_json()
+
+
+class TestBatchProvenance:
+    def test_computed_entries_record_compute_wall_time(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        batch = run_many(["fig3c-blade-spec", "table1"], store=store)
+        assert all(not entry.from_cache for entry in batch.entries)
+        for entry in store.entries():
+            assert entry.provenance is not None
+            assert entry.provenance.wall_time_s > 0
+
+        # A warm re-serve replays the stored stamps untouched.
+        warm = run_many(["fig3c-blade-spec", "table1"], store=store)
+        for entry in warm.entries:
+            assert entry.result.provenance.wall_time_s > 0

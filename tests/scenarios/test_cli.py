@@ -159,6 +159,71 @@ class TestCacheCommands:
         assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
         assert "entries        0" in capsys.readouterr().out
 
+    def test_stats_age_dates_entries(self, capsys, isolated_cache_dir):
+        assert main(["run", "fig3c-blade-spec"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "s old" in out  # provenance-stamped moments ago
+
+    def test_stats_age_dates_pre_provenance_entries_as_oldest(
+        self, capsys, isolated_cache_dir
+    ):
+        import json as _json
+
+        from repro.scenarios import ResultStore, get
+
+        assert main(["run", "fig3c-blade-spec"]) == 0
+        capsys.readouterr()
+        path = ResultStore(isolated_cache_dir).path_for(
+            get("fig3c-blade-spec")
+        )
+        entry = _json.loads(path.read_text())
+        del entry["provenance"]  # a PR-3-era entry
+        path.write_text(_json.dumps(entry))
+
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-prov" in out
+        assert "entries        1" in out  # valid, not corrupt
+
+
+class TestCacheGc:
+    def test_gc_without_caps_is_an_error(self, capsys):
+        assert main(["cache", "gc"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_evicts_least_recently_used(self, capsys, isolated_cache_dir):
+        import time as _time
+
+        # File mtimes tick on the kernel's coarse clock; space the ops so
+        # the LRU order is unambiguous.
+        assert main(["run", "fig3c-blade-spec"]) == 0
+        _time.sleep(0.05)
+        assert main(["run", "table1"]) == 0
+        _time.sleep(0.05)
+        assert main(["run", "fig3c-blade-spec"]) == 0  # refresh its LRU slot
+        capsys.readouterr()
+
+        assert main(["cache", "gc", "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 entry" in out
+
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries        1" in out
+        assert "fig3c-blade-spec" in out  # the recently-used one survived
+        assert "table1" not in out
+
+    def test_gc_max_bytes(self, capsys, isolated_cache_dir):
+        assert main(["run", "fig3c-blade-spec"]) == 0
+        assert main(["run", "table1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries        0" in capsys.readouterr().out
+
 
 class TestSweep:
     def test_requires_grid(self, capsys):

@@ -343,6 +343,88 @@ def _mutations(scenario: Scenario, rng: random.Random):
             yield "grid.rows", scenario.with_grid(mutated_grid)
 
 
+class TestDigestIgnoresStorageMetadata:
+    """The complement of the mutation property: storage-side metadata —
+    provenance stamps and the shard layout — must NOT move the digest, or
+    re-computing on another host/commit would orphan every cached entry."""
+
+    def test_canonical_json_carries_no_storage_fields(self):
+        from repro.scenarios.store import canonical_spec_json
+
+        rng = random.Random(0x90D5)
+        for _ in range(50):
+            canonical = canonical_spec_json(gen_scenario(rng))
+            for forbidden in (
+                '"provenance"',
+                '"host"',
+                '"code_rev"',
+                '"created_unix"',
+                '"wall_time_s"',
+                '"shard"',
+            ):
+                assert forbidden not in canonical, forbidden
+
+    def test_digest_identical_across_provenance_stamps(self, tmp_path):
+        from repro.scenarios.store import Provenance, ResultStore
+
+        rng = random.Random(0x9A0F)
+        payload = {"raw": {"series": {}}, "text": "t", "csv": None}
+        for i in range(25):
+            scenario = gen_scenario(rng)
+            store_a = ResultStore(tmp_path / f"a{i}")
+            store_b = ResultStore(tmp_path / f"b{i}")
+            put_a = store_a.put(
+                scenario,
+                payload,
+                provenance=Provenance(1, "host-a", 1.0, "rev-a", 0.1),
+            )
+            put_b = store_b.put(
+                scenario,
+                payload,
+                provenance=Provenance(1, "host-b", 2.0e9, None, None),
+            )
+            assert put_a.digest == put_b.digest, scenario
+            assert store_a.path_for(scenario).name == store_b.path_for(
+                scenario
+            ).name
+
+    def test_mutating_provenance_on_disk_keeps_the_entry_warm(self, tmp_path):
+        from repro.scenarios.store import ResultStore
+
+        rng = random.Random(0xED17)
+        payload = {"raw": {"series": {}}, "text": "t", "csv": None}
+        for i in range(25):
+            scenario = gen_scenario(rng)
+            store = ResultStore(tmp_path / str(i))
+            digest = store.put(scenario, payload).digest
+            path = store.path_for(scenario)
+            entry = json.loads(path.read_text())
+            entry["provenance"] = {
+                "schema_version": 1,
+                "host": "rewritten-elsewhere",
+                "created_unix": 4.0e9,
+                "code_rev": "feedface",
+                "wall_time_s": 9.9,
+            }
+            path.write_text(json.dumps(entry))
+            hit = store.get(scenario)
+            assert hit is not None, scenario  # still a hit, not corrupt
+            assert hit.digest == digest
+            assert hit.provenance.host == "rewritten-elsewhere"
+            assert store.stats.corrupt == 0
+
+    def test_digest_identical_across_shard_layouts(self, tmp_path):
+        from repro.scenarios.store import ResultStore
+
+        rng = random.Random(0x54A2)
+        flat = ResultStore(tmp_path / "flat")
+        sharded = ResultStore(tmp_path / "sharded", shard=True)
+        for _ in range(N_CASES):
+            scenario = gen_scenario(rng)
+            assert flat.digest(scenario) == sharded.digest(scenario)
+            assert flat.digest(scenario) == scenario_digest(scenario)
+
+
 class TestMutationChangesDigest:
     def test_every_single_field_mutation_changes_the_digest(self):
         rng = random.Random(0xDECADE)

@@ -1,0 +1,260 @@
+"""Concurrency stress suite: parallel writers/readers on one cache dir.
+
+The store's claims under fire: atomic writes (a reader never sees a torn
+entry as valid), corruption self-heal mid-race, LRU gc racing puts, and
+thread-safe stats counters.  Threads share one :class:`ResultStore`
+instance; the process tests point freshly built stores in worker
+processes at the same directory — both shapes the serving daemon and
+parallel CLI invocations produce in production.
+
+Workers perform randomized op mixes (seeded) and *assert inside the
+worker*: any torn read, crash or invalid payload fails the test by
+raising; the parent then cross-checks the shared counters and the final
+on-disk state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.arch.config import SystemConfig
+from repro.scenarios import Scenario
+from repro.scenarios.store import ResultStore
+
+N_SCENARIOS = 6
+
+
+def stress_scenario(index: int) -> Scenario:
+    """Deterministic cheap spec #index (never run — store-mechanics only)."""
+    return (
+        Scenario.builder(f"stress-{index}", "concurrency stress spec")
+        .training("GPT3-76.1B", batch=8 + index)
+        .parallel(tensor_parallel=8, pipeline_parallel=8)
+        .on(SystemConfig(kind="scd_blade"))
+        .extracting("time_per_batch")
+        .build()
+    )
+
+
+def payload_for(index: int, writer: int) -> dict:
+    """A payload tagged by scenario and writer; any complete version of a
+    scenario's payload is valid for a reader to observe."""
+    return {
+        "raw": {"series": {}, "scenario_index": index, "writer": writer},
+        "text": f"stress-{index}-writer-{writer}",
+        "csv": None,
+    }
+
+
+def check_hit(index: int, hit) -> None:
+    """A successful get must be one writer's complete payload — torn or
+    mixed state is a test failure."""
+    assert hit.text.startswith(f"stress-{index}-writer-"), hit.text
+    assert hit.raw["scenario_index"] == index
+    assert hit.text.endswith(str(hit.raw["writer"]))
+
+
+def hammer(store: ResultStore, seed: int, n_ops: int) -> dict:
+    """One worker's randomized op mix; returns its observed op counts."""
+    rng = random.Random(seed)
+    scenarios = [stress_scenario(i) for i in range(N_SCENARIOS)]
+    counts = {"puts": 0, "gets": 0, "invalidated": 0, "gc_runs": 0}
+    for _ in range(n_ops):
+        index = rng.randrange(N_SCENARIOS)
+        scenario = scenarios[index]
+        op = rng.random()
+        if op < 0.35:
+            store.put(scenario, payload_for(index, seed))
+            counts["puts"] += 1
+        elif op < 0.75:
+            hit = store.get(scenario)
+            if hit is not None:
+                check_hit(index, hit)
+            counts["gets"] += 1
+        elif op < 0.85:
+            if store.invalidate(scenario):
+                counts["invalidated"] += 1
+        elif op < 0.95:
+            store.gc(max_entries=N_SCENARIOS - 1)
+            counts["gc_runs"] += 1
+        else:
+            # Sabotage: clobber the entry mid-race; the *next* reader must
+            # self-heal (miss + drop), never crash or serve garbage.
+            path = store._path_for_digest(store.digest(scenario))
+            try:
+                path.write_text(rng.choice(["{ torn", "", '{"format":"no"}']))
+            except OSError:
+                pass
+    return counts
+
+
+# -- process workers (top-level for pickling) -------------------------------
+def _process_hammer(cache_dir: str, seed: int, n_ops: int) -> dict:
+    store = ResultStore(cache_dir)
+    counts = hammer(store, seed, n_ops)
+    counts["local_stats"] = store.stats.to_dict()
+    return counts
+
+
+def _process_put_get_loop(cache_dir: str, seed: int, n_ops: int) -> int:
+    """Tight put/get contention on ONE digest across processes."""
+    store = ResultStore(cache_dir)
+    rng = random.Random(seed)
+    observed = 0
+    for _ in range(n_ops):
+        if rng.random() < 0.5:
+            store.put(stress_scenario(0), payload_for(0, seed))
+        else:
+            hit = store.get(stress_scenario(0))
+            if hit is not None:
+                check_hit(0, hit)
+                observed += 1
+    return observed
+
+
+def assert_store_consistent(cache_dir) -> None:
+    """Reading back every surviving file either yields a valid entry or
+    self-heals (drops it) — and what validates matches its filename."""
+    store = ResultStore(cache_dir)
+    for path in store._entry_paths():
+        digest = path.name[:-5]
+        entry = store.read_digest(digest)  # heals un-noticed sabotage
+        if entry is None:
+            assert not path.exists(), f"unusable entry left behind: {path}"
+        else:
+            assert entry["format"] == "repro-scenario-result"
+            assert entry["digest"] == digest
+            assert isinstance(entry["artifacts"]["raw"], dict)
+    # No temp files leaked past the racing writers' finally-cleanup.
+    leftovers = [p for p in store.cache_dir.rglob("*.tmp")]
+    assert not leftovers, leftovers
+    stats = store.stats
+    assert stats.lookups == stats.hits + stats.misses
+
+
+class TestThreadStress:
+    def test_shared_store_instance_under_thread_fire(self, tmp_path):
+        store = ResultStore(tmp_path / "threads")
+        n_workers, n_ops = 8, 60
+        with ThreadPoolExecutor(n_workers) as pool:
+            results = list(
+                pool.map(
+                    lambda seed: hammer(store, seed, n_ops),
+                    range(n_workers),
+                )
+            )
+        # Thread-safe counters: the shared stats must account exactly for
+        # every op the workers performed.
+        assert store.stats.puts == sum(r["puts"] for r in results)
+        assert store.stats.lookups == sum(r["gets"] for r in results)
+        assert store.stats.invalidations == sum(
+            r["invalidated"] for r in results
+        )
+        assert store.stats.hits + store.stats.misses == store.stats.lookups
+        assert_store_consistent(tmp_path / "threads")
+
+    def test_gc_racing_puts_keeps_the_cap(self, tmp_path):
+        store = ResultStore(tmp_path / "gc-race", max_entries=3)
+        n_workers = 6
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            for _ in range(40):
+                index = rng.randrange(N_SCENARIOS)
+                store.put(stress_scenario(index), payload_for(index, seed))
+
+        with ThreadPoolExecutor(n_workers) as pool:
+            list(pool.map(worker, range(n_workers)))
+        # Every put auto-gc'd; with the dust settled the cap holds exactly.
+        store.gc()
+        assert store.n_entries <= 3
+        assert store.stats.evictions > 0
+        assert_store_consistent(tmp_path / "gc-race")
+
+
+class TestProcessStress:
+    def test_independent_processes_on_one_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "procs"
+        cache_dir.mkdir()
+        n_workers, n_ops = 3, 50
+        with ProcessPoolExecutor(n_workers) as pool:
+            futures = [
+                pool.submit(_process_hammer, str(cache_dir), seed, n_ops)
+                for seed in range(n_workers)
+            ]
+            results = [future.result(timeout=120) for future in futures]
+        assert all(r["puts"] + r["gets"] > 0 for r in results)
+        for r in results:
+            local = r["local_stats"]
+            assert local["lookups"] == local["hits"] + local["misses"]
+        assert_store_consistent(cache_dir)
+
+    def test_single_digest_contention_across_processes(self, tmp_path):
+        cache_dir = tmp_path / "hot-digest"
+        cache_dir.mkdir()
+        n_workers, n_ops = 3, 60
+        with ProcessPoolExecutor(n_workers) as pool:
+            futures = [
+                pool.submit(
+                    _process_put_get_loop, str(cache_dir), seed, n_ops
+                )
+                for seed in range(n_workers)
+            ]
+            observed = [future.result(timeout=120) for future in futures]
+        # Readers saw plenty of complete payloads (check_hit inside raised
+        # on any torn one) and the final entry is whole.
+        assert sum(observed) > 0
+        assert_store_consistent(cache_dir)
+        final = ResultStore(cache_dir).get(stress_scenario(0))
+        if final is not None:
+            check_hit(0, final)
+
+
+class TestCorruptionSelfHealMidRace:
+    def test_readers_heal_while_a_writer_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path / "heal")
+        scenario = stress_scenario(0)
+        path = store._path_for_digest(store.digest(scenario))
+        n_rounds = 120
+
+        def corruptor() -> None:
+            rng = random.Random(0xBAD)
+            for _ in range(n_rounds):
+                try:
+                    path.write_text(rng.choice(["{ torn", "[1,", ""]))
+                except OSError:
+                    pass
+                store.put(scenario, payload_for(0, 1))
+
+        def reader(seed: int) -> int:
+            healed = 0
+            for _ in range(n_rounds):
+                hit = store.get(scenario)
+                if hit is None:
+                    healed += 1
+                else:
+                    check_hit(0, hit)
+            return healed
+
+        with ThreadPoolExecutor(4) as pool:
+            corrupt_future = pool.submit(corruptor)
+            reader_futures = [pool.submit(reader, s) for s in range(3)]
+            corrupt_future.result(timeout=120)
+            [f.result(timeout=120) for f in reader_futures]
+
+        assert store.stats.corrupt > 0  # the sabotage was actually seen
+        # After the dust settles the store serves a valid payload again.
+        store.put(scenario, payload_for(0, 2))
+        final = store.get(scenario)
+        assert final is not None
+        check_hit(0, final)
+        assert_store_consistent(tmp_path / "heal")
+
+
+def test_stress_scenarios_are_cheap_to_build():
+    """The suite's specs must never accidentally require a model run."""
+    digests = {ResultStore().digest(stress_scenario(i)) for i in range(6)}
+    assert len(digests) == 6

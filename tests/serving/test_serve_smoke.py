@@ -1,0 +1,90 @@
+"""Tier-1 serve smoke test: boot, one cold + one warm request, clean stop.
+
+The cheapest end-to-end pass through the whole serving stack (CLI-built
+server → ThreadingHTTPServer → app → store), kept to one tiny table
+scenario so it stays a smoke test.  Also pins the ``python -m repro
+serve`` argument surface so the flags named in the docs cannot drift.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cli import build_parser
+from repro.scenarios.store import ResultStore
+from repro.serving import create_server
+
+
+def test_serve_smoke(tmp_path):
+    store = ResultStore(tmp_path / "cache", max_entries=16)
+    server = create_server(port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        import http.client
+        import json
+
+        host, port = server.server_address[:2]
+
+        def post_run():
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/run", json.dumps({"scenario": "table1"})
+                )
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                conn.close()
+
+        cold_status, cold = post_run()
+        assert cold_status == 200 and cold["from_cache"] is False
+        warm_status, warm = post_run()
+        assert warm_status == 200 and warm["from_cache"] is True
+        assert warm["artifacts"] == cold["artifacts"]
+        assert store.n_entries == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def test_workers_arm_a_thread_safe_fanout_start_method(
+    tmp_path, monkeypatch
+):
+    """A daemon with --workers must not fork its multithreaded process."""
+    from repro.analysis import sweep
+    from repro.serving import ServingApp
+
+    monkeypatch.setattr(sweep, "FANOUT_START_METHOD", None)
+    ServingApp(ResultStore(tmp_path), workers=2)
+    assert sweep.FANOUT_START_METHOD == "forkserver"
+
+    # An operator's explicit choice is never overridden.
+    monkeypatch.setattr(sweep, "FANOUT_START_METHOD", "spawn")
+    ServingApp(ResultStore(tmp_path), workers=2)
+    assert sweep.FANOUT_START_METHOD == "spawn"
+
+
+def test_serve_cli_flags_parse():
+    args = build_parser().parse_args(
+        [
+            "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--cache-dir", "/tmp/x",
+            "--max-cache-bytes", "1000000",
+            "--max-cache-entries", "64",
+            "--shard",
+            "--verbose",
+        ]
+    )
+    assert args.port == 0
+    assert args.workers == 2
+    assert args.cache_dir == "/tmp/x"
+    assert args.max_cache_bytes == 1_000_000
+    assert args.max_cache_entries == 64
+    assert args.shard is True
+    assert args.quiet is False
+    assert args.fn.__name__ == "_cmd_serve"
