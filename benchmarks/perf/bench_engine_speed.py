@@ -16,10 +16,13 @@ batch runner serving the same scenarios out of a warm result store
 (``serve_warm_seconds`` — a pure file-read replay, asserted compute-free)
 and the HTTP daemon serving the same set warm over real sockets
 (``serve_http_warm_seconds`` — one ``POST /run`` per scenario against a
-live ``ThreadingHTTPServer``, asserted compute-free), and gates all three
-numbers against the committed ``BENCH_baseline.json``: a >2× regression of
-any fails the default pytest run.
-Collected in the default pytest run via ``benchmarks/conftest.py``.
+live ``ThreadingHTTPServer``, asserted compute-free) and *hot* through a
+mem-over-file tiered store (``serve_http_hot_seconds`` — the daemon's
+production stack: after first promotion every request is answered from the
+in-process LRU tier, asserted to perform zero file reads via per-tier
+stats), and gates all four numbers against the committed
+``BENCH_baseline.json``: a >2× regression of any fails the default pytest
+run.  Collected in the default pytest run via ``benchmarks/conftest.py``.
 """
 
 from __future__ import annotations
@@ -172,12 +175,15 @@ def test_engine_speed_vs_seed_flat_timing():
         "serve_cold_seconds": serve["cold_seconds"],
         "serve_warm_seconds": serve["warm_seconds"],
         "serve_http_warm_seconds": serve["http_warm_seconds"],
+        "serve_http_hot_seconds": serve["http_hot_seconds"],
         "note": (
             "flat_seed_seconds reproduces the pre-engine seed path "
             "(per-replica op walk, no memoization) in the same process; "
             "serve_warm_seconds replays the scenarios from a warm result "
             "store (pure file reads); serve_http_warm_seconds serves the "
-            "same warm set over real sockets through the HTTP daemon"
+            "same warm set over real sockets through the HTTP daemon; "
+            "serve_http_hot_seconds serves it through a mem-over-file "
+            "tiered store with zero file reads after promotion"
         ),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=1) + "\n")
@@ -189,7 +195,8 @@ def test_engine_speed_vs_seed_flat_timing():
         f"max series rel err {max_rel_err:.2e}; warm batch serving "
         f"{serve['warm_seconds'] * 1e3:.1f} ms for "
         f"{len(SERVE_SCENARIOS)} scenarios "
-        f"({serve['http_warm_seconds'] * 1e3:.1f} ms over HTTP)"
+        f"({serve['http_warm_seconds'] * 1e3:.1f} ms over HTTP, "
+        f"{serve['http_hot_seconds'] * 1e3:.1f} ms hot via mem tier)"
     )
 
     assert max_rel_err < 1e-9, errors
@@ -258,10 +265,53 @@ def _measure_warm_serving() -> dict:
             server.shutdown()
             server.server_close()
             thread.join(timeout=10)
+
+        # Hot HTTP serving: the daemon's production stack — a mem:// tier
+        # over the same cache dir.  A priming pass promotes every digest;
+        # the timed pass is answered from the in-process LRU with zero
+        # file reads (asserted via the file tier's per-tier stats).
+        tiered = ResultStore(f"mem://,file://{tmp}")
+        file_tier = tiered.backend.tiers[1]
+        server = create_server(port=0, store=tiered)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+
+            def post_all() -> None:
+                for name in SERVE_SCENARIOS:
+                    connection.request(
+                        "POST", "/run", json.dumps({"scenario": name})
+                    )
+                    response = connection.getresponse()
+                    body = json.loads(response.read())
+                    assert (
+                        response.status == 200 and body["from_cache"]
+                    ), name
+
+            post_all()  # promote every digest into the mem tier
+            file_reads = file_tier.counters.reads
+            counters = (cache.hits, cache.misses)
+            t0 = time.perf_counter()
+            post_all()
+            http_hot_seconds = time.perf_counter() - t0
+            connection.close()
+            assert (cache.hits, cache.misses) == counters, (
+                "hot HTTP serving performed kernel timings"
+            )
+            assert file_tier.counters.reads == file_reads, (
+                "hot HTTP serving touched the file tier"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
     return {
         "cold_seconds": round(cold_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
         "http_warm_seconds": round(http_warm_seconds, 6),
+        "http_hot_seconds": round(http_hot_seconds, 6),
     }
 
 
@@ -289,6 +339,7 @@ def _gate_against_baseline(result: dict) -> None:
         "engine_seconds",
         "serve_warm_seconds",
         "serve_http_warm_seconds",
+        "serve_http_hot_seconds",
     ):
         measured = result[metric]
         allowed = baseline[metric] * GATE_FACTOR * host_factor

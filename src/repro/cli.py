@@ -13,15 +13,18 @@ Subcommands:
 * ``run-all``            — serve every registered scenario through the batch
   runner (``--kind`` filters, ``--workers`` fans scenarios out);
 * ``serve``              — run the HTTP serving daemon over the store
-  (``--port --workers --cache-dir --max-cache-bytes --max-cache-entries
-  --shard``);
+  (``--port --workers --cache --cache-dir --max-cache-bytes
+  --max-cache-entries --shard``);
 * ``cache stats|clear|gc`` — inspect, empty or LRU-shrink the result store.
 
 ``run``/``sweep``/``run-all`` consult the store first (re-running a cached
-scenario is a pure file read; ``served from result store`` is reported on
-stderr), and accept ``--no-cache`` (bypass the store entirely — nothing
-read or written) and ``--cache-dir DIR`` (default ``$REPRO_CACHE_DIR`` or
-``~/.cache/repro/scenarios``).  ``--out DIR`` emits the staged artifacts
+scenario is a pure backend read; ``served from result store`` is reported
+on stderr), and accept ``--no-cache`` (bypass the store entirely — nothing
+read or written), ``--cache URL`` (a storage-backend address: ``mem://``,
+``file:///path?shard=1``, ``ro:///mirror``, or comma-separated tiers like
+``mem://,file:///path``; supersedes ``--cache-dir``) and ``--cache-dir
+DIR`` (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/scenarios``).
+``--out DIR`` emits the staged artifacts
 the qml-cutensornet-style pipelines use: ``<name>_raw.json`` (spec +
 per-point values), ``<name>.csv`` (grid scenarios) and ``<name>.txt``
 (the rendered text figure/table); cached and recomputed artifacts are
@@ -31,13 +34,14 @@ byte-identical.
 from __future__ import annotations
 
 import argparse
+import statistics as _statistics
 import sys
 import time as _time
 
 from repro.errors import ConfigError
 from repro.scenarios import REGISTRY, get
 from repro.scenarios.batch import resolve_scenario, run_many
-from repro.scenarios.store import ResultStore, run_cached
+from repro.scenarios.store import CACHE_DIR_ENV, ResultStore, run_cached
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -62,6 +66,19 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _store(args: argparse.Namespace) -> ResultStore:
+    cache = getattr(args, "cache", None)
+    if cache:
+        if getattr(args, "cache_dir", None):
+            # Never silently drop an explicit flag: the operator said two
+            # different things about where the store lives.  (Tier lists
+            # are schemes-only, so the hint wraps bare paths in file://.)
+            first = cache if "://" in cache else f"file://{cache}"
+            raise ConfigError(
+                "--cache and --cache-dir are mutually exclusive; name the "
+                f"directory as a tier instead: --cache "
+                f"\"{first},file://{args.cache_dir}\""
+            )
+        return ResultStore(cache)  # URL addressing (or a bare path)
     return ResultStore(args.cache_dir)
 
 
@@ -131,18 +148,65 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import os as _os
+
     store = _store(args)
-    # Count/size what is actually listed (one directory read), so an
+    # A missing or unreadable cache dir is an audit failure *when the
+    # operator named the location* (--cache, --cache-dir, or the env
+    # override): pointing at a wrong mount must exit non-zero with a
+    # structured message, never a silent zero count (or a traceback).
+    # The never-created default dir, by contrast, is just an empty store.
+    explicit_location = bool(
+        getattr(args, "cache", None)
+        or getattr(args, "cache_dir", None)
+        or _os.environ.get(CACHE_DIR_ENV)
+    )
+    cache_dir = store.cache_dir
+    if cache_dir is not None and explicit_location:
+        if not cache_dir.exists():
+            print(
+                f"error: cache-dir-missing: {cache_dir} does not exist "
+                "(nothing cached yet, or the wrong --cache/--cache-dir?)",
+                file=sys.stderr,
+            )
+            return 2
+        if not cache_dir.is_dir() or not _os.access(
+            cache_dir, _os.R_OK | _os.X_OK
+        ):
+            print(
+                f"error: cache-dir-unreadable: {cache_dir} is not a "
+                "readable directory",
+                file=sys.stderr,
+            )
+            return 2
+    # Count/size what is actually listed (one backend scan), so an
     # unreadable entry can never make the summary disagree with the rows.
     # Ordered by mtime — the LRU position `cache gc` actually evicts in
     # (a warm get refreshes it; the age column is the provenance creation
     # stamp, which never moves).  Pre-provenance entries age-date as
     # "pre-prov", never as corrupt.
     entries = sorted(store.entries(), key=lambda entry: entry.mtime)
-    print(f"cache dir      {store.cache_dir}")
+    print(f"cache dir      {cache_dir if cache_dir is not None else '-'}")
+    print(f"backend        {store.url}")
+    _print_tier_lines(store)
     print(f"schema version {store.schema_version}")
     print(f"entries        {len(entries)}")
     print(f"total bytes    {sum(entry.size_bytes for entry in entries)}")
+    # Entry-age summary over provenance creation stamps — how a shared
+    # mirror is audited for staleness.  Pre-provenance entries (no stamp)
+    # are counted, never folded in as fabricated 1970 ages.
+    stamps = sorted(
+        entry.provenance.created_unix
+        for entry in entries
+        if entry.provenance is not None
+    )
+    print(f"oldest created {_age_of(stamps[0]) if stamps else '-'}")
+    print(f"newest created {_age_of(stamps[-1]) if stamps else '-'}")
+    # statistics.median, exactly like /stats, so both audit surfaces
+    # report the same number for the same mirror.
+    median = _statistics.median(stamps) if stamps else None
+    print(f"median created {_age_of(median) if median is not None else '-'}")
+    print(f"pre-provenance {len(entries) - len(stamps)}")
     for entry in entries:
         print(
             f"  {entry.digest[:12]}  {entry.kind:9s} "
@@ -151,11 +215,35 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_tier_lines(store: ResultStore) -> None:
+    """Per-tier breakdown of a tiered backend (sizes per tier).
+
+    Hit/miss counters are deliberately *not* printed here: they live on
+    this one-shot process's freshly built backend and would always read
+    as fabricated zeros — the serving daemon's ``/stats`` is where the
+    per-tier traffic counters are real.
+    """
+    if not hasattr(store.backend, "tiers"):
+        return  # plain backend: skip the stats() scan entirely
+    backend_stats = store.backend.stats()
+    for tier in backend_stats.get("tiers", ()):
+        print(
+            f"  tier         {tier['url']}  "
+            f"{tier['n_entries']} entr(ies), {tier['total_bytes']} B"
+            + ("" if tier["writable"] else "  [read-only]")
+        )
+
+
 def _age(entry) -> str:
     """Human age of one store entry from its provenance stamp."""
     if entry.provenance is None:
         return "pre-prov"
-    age = max(0.0, _time.time() - entry.provenance.created_unix)
+    return _age_of(entry.provenance.created_unix)
+
+
+def _age_of(created_unix: float) -> str:
+    """Humanized age of one provenance creation stamp."""
+    age = max(0.0, _time.time() - created_unix)
     if age < 120:
         return f"{age:.0f}s old"
     if age < 7200:
@@ -168,7 +256,7 @@ def _age(entry) -> str:
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _store(args)
     removed = store.clear()
-    print(f"removed {removed} cached result(s) from {store.cache_dir}")
+    print(f"removed {removed} cached result(s) from {store.url}")
     return 0
 
 
@@ -183,10 +271,10 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
     evicted = store.gc(max_bytes=args.max_bytes, max_entries=args.max_entries)
     for digest in evicted:
         print(f"evicted {digest[:12]}")
+    n_entries, total_bytes = store.disk_usage()
     print(
         f"evicted {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'}; "
-        f"{store.n_entries} left ({store.total_bytes} bytes) in "
-        f"{store.cache_dir}"
+        f"{n_entries} left ({total_bytes} bytes) in {store.url}"
     )
     return 0
 
@@ -197,6 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = create_server(
         args.host,
         args.port,
+        cache=args.cache,
         cache_dir=args.cache_dir,
         workers=args.workers,
         max_cache_bytes=args.max_cache_bytes,
@@ -208,6 +297,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="URL",
+        help="result-store backend address: mem://, file:///path?shard=1, "
+        "ro:///mirror, or comma-separated tiers such as "
+        "mem://,file:///path (supersedes --cache-dir)",
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,

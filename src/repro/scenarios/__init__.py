@@ -16,14 +16,30 @@ the sensitivity tornado and the DSE search under stable names, and
 
 Results are content-addressed: :mod:`~repro.scenarios.store` keys every
 result on a stable digest of the spec + schema version, so re-running any
-cached scenario is a pure file read, and :mod:`~repro.scenarios.batch`
+cached scenario is a pure backend read, and :mod:`~repro.scenarios.batch`
 serves whole lists of scenarios (names, specs, user JSON files)
-compute-once through the shared caches:
+compute-once through the shared caches.  *Where* results live is a
+pluggable storage backend (:mod:`~repro.scenarios.backends`), addressable
+by URL everywhere a store is accepted — ``mem://`` (in-process LRU hot
+tier), ``file:///path?shard=1`` (cache directory), ``ro:///mirror``
+(read-only shared mirror), or comma-separated tiers:
 
 >>> from repro.scenarios import ResultStore, run_many
 >>> batch = run_many(["fig5", "fig6"], store=ResultStore("results/.cache"))
+>>> tiered = ResultStore("mem://,file://results/.cache")
 """
 
+from repro.scenarios.backends import (
+    BackendEntry,
+    BackendStats,
+    InMemoryBackend,
+    LocalFSBackend,
+    ReadOnlyMirrorBackend,
+    StoreBackend,
+    TieredStore,
+    backend_from_url,
+    is_store_url,
+)
 from repro.scenarios.batch import (
     BatchEntry,
     BatchResult,
@@ -61,6 +77,15 @@ __all__ = [
     "SCENARIO_KINDS",
     "SCHEMA_VERSION",
     "TABLE_KINDS",
+    "BackendEntry",
+    "BackendStats",
+    "InMemoryBackend",
+    "LocalFSBackend",
+    "ReadOnlyMirrorBackend",
+    "StoreBackend",
+    "TieredStore",
+    "backend_from_url",
+    "is_store_url",
     "Scenario",
     "ScenarioBuilder",
     "WorkloadConfig",

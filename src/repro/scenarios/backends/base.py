@@ -1,0 +1,238 @@
+"""The storage-backend contract of the content-addressed result store.
+
+:class:`~repro.scenarios.store.ResultStore` is a thin digest/orchestration
+front-end: it computes content addresses, validates entry payloads, counts
+store-level traffic and decides when to recompute.  *Where* the bytes of an
+entry live — a local cache directory, a lock-guarded in-process dict, a
+read-only rsync'd mirror, or a tiered stack of all three — is a
+:class:`StoreBackend`.  The same address scheme (the sha256 spec digest)
+keys every backend, so digests, artifact payloads and provenance are
+backend-agnostic: an entry written through ``file://`` replays
+byte-identically through ``mem://`` promotion or an ``ro://`` mirror.
+
+A backend stores **opaque bytes per digest** — it never parses artifact
+payloads (the front-end owns validation and the corrupt/self-heal policy).
+The one exception is :class:`~repro.scenarios.backends.tiered.TieredStore`'s
+cheap :func:`plausible_entry` probe, which keeps a corrupt lower tier from
+being promoted into the hot tier.
+
+Concrete backends:
+
+* :class:`~repro.scenarios.backends.localfs.LocalFSBackend` — ``file://``,
+  today's atomic-write + sharding + mtime-LRU cache directory;
+* :class:`~repro.scenarios.backends.memory.InMemoryBackend` — ``mem://``,
+  the byte-capped LRU hot tier;
+* :class:`~repro.scenarios.backends.mirror.ReadOnlyMirrorBackend` —
+  ``ro://``, a shared mirror that is never written or healed;
+* :class:`~repro.scenarios.backends.tiered.TieredStore` — comma-separated
+  tiers, read-through with promotion.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+#: Marker every entry file carries so foreign JSON is never misread as a
+#: result.  Lives here (not in ``store``) so backends can cheaply probe
+#: entries without importing the front-end.
+STORE_FORMAT = "repro-scenario-result"
+
+#: A full sha256 content address (the ``/results/<digest>`` route shape).
+DIGEST_RE = re.compile(r"[0-9a-f]{64}")
+
+#: Entry filename shape: the sha256 digest plus the ``.json`` suffix.
+DIGEST_NAME_RE = re.compile(r"[0-9a-f]{64}\.json")
+
+#: Shard directory shape: the first two hex characters of the digest.
+SHARD_DIR_RE = re.compile(r"[0-9a-f]{2}")
+
+#: Orphaned temp files (a writer died mid-put) older than this are swept
+#: by filesystem-backend gc.
+STALE_TMP_SECONDS = 3600.0
+
+
+@dataclass
+class BackendStats:
+    """Per-backend traffic counters (the per-tier ``/stats`` breakdown).
+
+    ``hits``/``misses`` count :meth:`StoreBackend.read` outcomes — for a
+    tier inside a :class:`~repro.scenarios.backends.tiered.TieredStore`
+    these are exactly the "did this tier get touched" numbers the
+    acceptance criterion asserts on (a hot digest served from the mem tier
+    leaves the file tier's ``reads`` frozen).  ``promotions`` only moves on
+    composite backends; ``corrupt_skipped`` counts entries a tiered read
+    refused to promote (and a read-only mirror left in place).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    deletes: int = 0
+    evictions: int = 0
+    promotions: int = 0
+    corrupt_skipped: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total read traffic against this backend (hit or miss)."""
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "evictions": self.evictions,
+            "promotions": self.promotions,
+            "corrupt_skipped": self.corrupt_skipped,
+        }
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """Storage-level metadata of one entry: address, size, LRU position.
+
+    ``path`` is ``None`` for backends without filesystem paths (``mem://``).
+    Payload-level metadata (scenario name, provenance) is the front-end's
+    business — it :meth:`StoreBackend.peek`\\ s the bytes and parses them.
+    """
+
+    digest: str
+    size_bytes: int
+    #: Last-use time (LRU position): a write stamps it, a read hit
+    #: refreshes it, gc evicts ascending.
+    mtime: float = 0.0
+    path: Path | None = None
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Where digest-addressed entry bytes live.
+
+    Implementations must be safe to share across threads.  ``read`` may
+    raise :class:`OSError` for an entry that exists but cannot be loaded —
+    the front-end treats that as a corrupt entry (and heals it only on
+    writable backends).
+    """
+
+    #: URL-style description of this backend (``file:///path``, ``mem://``,
+    #: ``ro:///mirror``, or a comma-joined tier list).
+    url: str
+    #: Whether writes/deletes are accepted.  The front-end never attempts
+    #: to heal (discard) corrupt entries on a read-only backend.
+    writable: bool
+    #: Whether the backend relies on a post-write :meth:`gc` pass to hold
+    #: its size caps — drives the front-end's auto-gc after every put.
+    #: Inline self-evicting backends (``mem://``) report ``False``.
+    capped: bool
+
+    def read(self, digest: str) -> bytes | None:
+        """The entry bytes, or ``None`` on a miss.  Counts hit/miss and
+        refreshes the served copy's LRU position (a read *is* a use — no
+        separate ``touch`` round trip on the hot path)."""
+        ...
+
+    def peek(self, digest: str) -> bytes | None:
+        """Like :meth:`read` but side-effect free: no stats traffic, no
+        LRU refresh, no promotion (the introspection path)."""
+        ...
+
+    def write(self, digest: str, data: bytes) -> None:
+        """Store the entry bytes atomically (a concurrent reader sees the
+        old entry, the new entry, or a miss — never a torn write)."""
+        ...
+
+    def delete(self, digest: str) -> bool:
+        """Drop one entry everywhere this backend holds it; ``True`` if
+        something was removed."""
+        ...
+
+    def discard(self, digest: str) -> bool:
+        """Corrupt-heal: drop only the copy :meth:`read` would have served
+        (other-layout or other-tier copies of the digest survive).  No-op
+        on read-only backends."""
+        ...
+
+    def contains(self, digest: str) -> bool:
+        """Cheap existence probe — no read, no stats traffic."""
+        ...
+
+    def touch(self, digest: str) -> None:
+        """Refresh an entry's LRU position; losing a race is harmless."""
+        ...
+
+    def entries(self) -> Iterator[BackendEntry]:
+        """Storage metadata per entry (unreadable entries are skipped)."""
+        ...
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        *,
+        sweep_tmp: bool = True,
+    ) -> list[str]:
+        """LRU-evict down to the caps (explicit args override configured
+        ones); returns evicted digests."""
+        ...
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        ...
+
+    def stats(self) -> dict[str, Any]:
+        """Plain-data description + counters (the ``/stats`` per-tier
+        block): kind, url, writability, sizes, :class:`BackendStats`."""
+        ...
+
+
+class CountersMixin:
+    """Shared lock-guarded counter plumbing for concrete backends."""
+
+    def __init__(self) -> None:
+        self.counters = BackendStats()
+        self._counter_lock = threading.Lock()
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        with self._counter_lock:
+            setattr(
+                self.counters, counter, getattr(self.counters, counter) + n
+            )
+
+
+def plausible_entry(data: bytes, digest: str) -> bool:
+    """Cheap is-this-really-an-entry probe for composite backends.
+
+    Full validation (schema version, artifact shape) stays in the
+    front-end; this only keeps torn or foreign bytes out of promotion.
+    """
+    try:
+        entry = json.loads(data)
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return (
+        isinstance(entry, dict)
+        and entry.get("format") == STORE_FORMAT
+        and entry.get("digest") == digest
+    )
+
+
+__all__ = [
+    "DIGEST_NAME_RE",
+    "DIGEST_RE",
+    "SHARD_DIR_RE",
+    "STALE_TMP_SECONDS",
+    "STORE_FORMAT",
+    "BackendEntry",
+    "BackendStats",
+    "CountersMixin",
+    "StoreBackend",
+    "plausible_entry",
+]

@@ -1,0 +1,322 @@
+"""``file://`` backend: the local cache-directory tier.
+
+The filesystem mechanics extracted verbatim from the pre-backend
+``ResultStore``: atomic writes (per-writer-unique temp file + rename),
+optional two-hex-prefix sharding with cross-layout reads, mtime-LRU
+eviction, stale-temp sweeping, and strictly digest-named entry filtering
+so a cache dir pointed at a directory holding other JSON never has foreign
+data counted — let alone deleted — as store entries.
+
+Every instance is safe to share across threads, and many processes may
+point at one directory: writes are atomic, readers treat torn/competing
+state as corrupt (the front-end self-heals on this backend because it is
+writable).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.scenarios.backends.base import (
+    DIGEST_NAME_RE,
+    SHARD_DIR_RE,
+    STALE_TMP_SECONDS,
+    BackendEntry,
+    CountersMixin,
+)
+
+
+class LocalFSBackend(CountersMixin):
+    """One cache directory of ``<digest>.json`` entry files.
+
+    Layout: flat by default (``<root>/<digest>.json``); with ``shard=True``
+    entries live under a two-hex-prefix directory (``<root>/ab/ab….json``)
+    so very large registries never put tens of thousands of files in one
+    directory.  Reads understand *both* layouts regardless of the flag, so
+    flipping sharding on an existing cache dir never orphans entries — new
+    writes just land in the new layout.
+
+    ``max_bytes``/``max_entries`` are this tier's LRU caps; the front-end
+    (or an explicit :meth:`gc`) enforces them.
+    """
+
+    writable = True
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        shard: bool = False,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.shard = shard
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def url(self) -> str:
+        suffix = "?shard=1" if self.shard else ""
+        return f"file://{self.root}{suffix}"
+
+    @property
+    def cache_dir(self) -> Path:
+        """The directory entries live in (the front-end's ``cache_dir``)."""
+        return self.root
+
+    @property
+    def capped(self) -> bool:
+        """Whether this tier relies on post-write gc to hold its caps."""
+        return self.max_bytes is not None or self.max_entries is not None
+
+    def __repr__(self) -> str:
+        return f"LocalFSBackend({str(self.root)!r}, shard={self.shard})"
+
+    # -- addressing ---------------------------------------------------------
+    def path_for_digest(self, digest: str) -> Path:
+        """The entry file a digest's result lives in (write layout)."""
+        if self.shard:
+            return self.root / digest[:2] / f"{digest}.json"
+        return self.root / f"{digest}.json"
+
+    def _candidate_paths(self, digest: str) -> tuple[Path, Path]:
+        """This backend's layout first, the other layout second."""
+        sharded = self.root / digest[:2] / f"{digest}.json"
+        flat = self.root / f"{digest}.json"
+        return (sharded, flat) if self.shard else (flat, sharded)
+
+    # -- traffic ------------------------------------------------------------
+    def read(self, digest: str) -> bytes | None:
+        for path in self._candidate_paths(digest):
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            # Other OSErrors propagate: the entry exists but cannot be
+            # loaded, which the front-end treats as corrupt.
+            self._count("hits")
+            # A read *is* a use: refresh the LRU position here, so every
+            # consumer (front-end, tiered stack) gets the same semantics
+            # without a second candidate walk.
+            self._utime(path)
+            return data
+        self._count("misses")
+        return None
+
+    def _utime(self, path: Path) -> None:
+        """Refresh one entry file's LRU stamp; losing the race is
+        harmless.  The read-only mirror overrides this to a no-op."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def peek(self, digest: str) -> bytes | None:
+        for path in self._candidate_paths(digest):
+            try:
+                return path.read_bytes()
+            except OSError:
+                continue
+        return None
+
+    def write(self, digest: str, data: bytes) -> None:
+        path = self.path_for_digest(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self._count("writes")
+
+    def delete(self, digest: str) -> bool:
+        removed = False
+        for path in self._candidate_paths(digest):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed = True
+        if removed:
+            self._count("deletes")
+        return removed
+
+    def discard(self, digest: str) -> bool:
+        """Drop only the copy a read would have served (corrupt-heal).
+
+        Unlike :meth:`delete`, this never reaches past the first existing
+        candidate: a valid same-digest entry in the *other* shard layout
+        survives the heal and serves the next get.
+        """
+        for path in self._candidate_paths(digest):
+            if not path.exists():
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                return False
+            self._count("deletes")
+            return True
+        return False
+
+    def contains(self, digest: str) -> bool:
+        return any(path.exists() for path in self._candidate_paths(digest))
+
+    def touch(self, digest: str) -> None:
+        for path in self._candidate_paths(digest):
+            try:
+                os.utime(path)
+                return
+            except OSError:
+                continue
+
+    # -- introspection ------------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        """Files that are store entries *by name* (``<64-hex>.json``), in
+        either layout — the strict filter gc/clear are allowed to unlink."""
+        if not self.root.is_dir():
+            return []
+        candidates = list(self.root.glob("*.json"))
+        candidates += self.root.glob("[0-9a-f][0-9a-f]/*.json")
+        return sorted(
+            path for path in candidates if DIGEST_NAME_RE.fullmatch(path.name)
+        )
+
+    def entries(self) -> Iterator[BackendEntry]:
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield BackendEntry(
+                digest=path.name[: -len(".json")],
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+                path=path,
+            )
+
+    # -- eviction -----------------------------------------------------------
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        *,
+        sweep_tmp: bool = True,
+    ) -> list[str]:
+        """Enforce the caps by mtime-LRU eviction; returns evicted digests.
+
+        Cost is one directory scan — O(entries on disk), which the caps
+        themselves keep bounded between runs.  Concurrent evictors racing
+        on the same files are fine — whoever loses the unlink just skips
+        the entry.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_entries is None:
+            max_entries = self.max_entries
+        if sweep_tmp:
+            self._sweep_stale_tmp()
+        if max_bytes is None and max_entries is None:
+            return []
+
+        entries: list[tuple[float, int, Path]] = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest mtime first = least recently used
+
+        total_bytes = sum(size for _, size, _ in entries)
+        n_entries = len(entries)
+        evicted: list[str] = []
+        for _, size, path in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_count = max_entries is not None and n_entries > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total_bytes -= size
+            n_entries -= 1
+            evicted.append(path.name[: -len(".json")])
+        self._count("evictions", len(evicted))
+        if evicted:
+            self._prune_shard_dirs()
+        return evicted
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self._count("deletes", removed)
+        self._prune_shard_dirs()
+        return removed
+
+    def _sweep_stale_tmp(self) -> None:
+        """Drop temp files orphaned by a writer that died mid-write."""
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for pattern in ("*.tmp", "[0-9a-f][0-9a-f]/*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                except OSError:
+                    continue
+
+    def _prune_shard_dirs(self) -> None:
+        """Remove shard directories left empty by eviction/clearing."""
+        if not self.root.is_dir():
+            return
+        for child in self.root.iterdir():
+            if child.is_dir() and SHARD_DIR_RE.fullmatch(child.name):
+                try:
+                    child.rmdir()  # fails (correctly) unless empty
+                except OSError:
+                    continue
+
+    def describe(self) -> dict[str, Any]:
+        """The scan-free part of :meth:`stats` (descriptor + counters) —
+        composite backends add sizes from their own single entry pass."""
+        return {
+            "kind": "file",
+            "url": self.url,
+            "writable": self.writable,
+            "shard": self.shard,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+            "counters": self.counters.to_dict(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        count = 0
+        total = 0
+        for entry in self.entries():
+            count += 1
+            total += entry.size_bytes
+        return self.describe() | {"n_entries": count, "total_bytes": total}
+
+
+__all__ = ["LocalFSBackend"]

@@ -1,0 +1,310 @@
+"""Tiered storage: read-through with promotion over a stack of backends.
+
+The composition the serving daemon runs in production:
+``TieredStore([InMemoryBackend(), LocalFSBackend(dir)])`` answers a hot
+digest from the mem tier without touching the filesystem at all, promotes
+a file-tier hit into mem on first read, and (via an optional trailing
+:class:`~repro.scenarios.backends.mirror.ReadOnlyMirrorBackend`) reads
+through to a shared mirror it never writes.
+
+Policies, in one place:
+
+* **read** — tiers are probed in order; the first plausible entry wins and
+  is *promoted* (written) into every writable tier above it, so the next
+  read stops earlier.  A torn/foreign entry in a tier is skipped — deleted
+  there if the tier is writable, left alone if not — and the probe
+  continues downward, so one corrupt hot copy can never mask a good
+  durable one.  Plausibility is a cheap format+digest probe, not the
+  front-end's full validation: an entry that is corrupt *at its own
+  address* on an unhealable tier (e.g. a hand-edited mirror entry) may be
+  promoted and then rejected by the front-end, which discards the
+  promoted copies — wasted work on a pathological entry, never a wrong
+  answer.
+* **write** — write-back to the *first writable* tier only; lower tiers
+  fill by their own producers (a CLI run against ``file://``, an rsync to
+  the mirror) or stay cold.  This keeps a put as cheap as its hottest
+  tier.
+* **delete/gc/clear** — fan out to every writable tier; read-only tiers
+  are untouched by construction.
+
+Per-tier hit/miss stats come free: each tier keeps its own
+:class:`~repro.scenarios.backends.base.BackendStats`, and
+:meth:`TieredStore.stats` nests them, which is how the acceptance
+criterion ("a repeated digest is served with zero file reads after first
+promotion") is asserted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.scenarios.backends.base import (
+    BackendEntry,
+    CountersMixin,
+    StoreBackend,
+    plausible_entry,
+)
+
+
+class TieredStore(CountersMixin):
+    """A stack of backends probed in order, hottest first.
+
+    ``write_policy`` selects where a put lands: ``"first"`` (the default
+    write-back — only the first writable tier, cheapest put) or ``"all"``
+    (write-through to every writable tier — durable puts for a long-lived
+    daemon whose hot tier dies with the process).
+    """
+
+    def __init__(
+        self,
+        tiers: Iterable[StoreBackend],
+        *,
+        write_policy: str = "first",
+    ) -> None:
+        super().__init__()
+        self.tiers: tuple[StoreBackend, ...] = tuple(tiers)
+        if not self.tiers:
+            raise ConfigError("a TieredStore needs at least one tier")
+        if write_policy not in ("first", "all"):
+            raise ConfigError(
+                f"unknown tiered write policy {write_policy!r} "
+                "(known: 'first', 'all')"
+            )
+        self.write_policy = write_policy
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return ",".join(tier.url for tier in self.tiers)
+
+    @property
+    def writable(self) -> bool:
+        return any(tier.writable for tier in self.tiers)
+
+    #: Tier caps are enforced inline by :meth:`write`/:meth:`_promote` on
+    #: exactly the tiers a write lands in, so the front-end's post-put gc
+    #: (which would scan *every* capped tier per put) is never needed.
+    capped = False
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The first tier with a filesystem presence (diagnostics only)."""
+        for tier in self.tiers:
+            directory = getattr(tier, "cache_dir", None)
+            if directory is not None:
+                return directory
+        return None
+
+    def __repr__(self) -> str:
+        return f"TieredStore({list(self.tiers)!r})"
+
+    # -- traffic ------------------------------------------------------------
+    def read(self, digest: str) -> bytes | None:
+        for index, tier in enumerate(self.tiers):
+            try:
+                data = tier.read(digest)
+            except OSError:
+                self._skip_corrupt(tier, digest)
+                continue
+            if data is None:
+                continue
+            if not plausible_entry(data, digest):
+                self._skip_corrupt(tier, digest)
+                continue
+            self._promote(index, digest, data)
+            self._count("hits")
+            return data
+        self._count("misses")
+        return None
+
+    def _skip_corrupt(self, tier: StoreBackend, digest: str) -> None:
+        """A torn/foreign entry in one tier: drop *that copy* there if we
+        may, keep probing lower tiers either way."""
+        self._count("corrupt_skipped")
+        if tier.writable:
+            tier.discard(digest)
+
+    def _promote(self, index: int, digest: str, data: bytes) -> None:
+        """Copy a lower-tier hit into every writable tier above it.
+
+        Best-effort: a hot tier that cannot accept the copy (disk full,
+        permissions) must never turn a *successful* lower-tier read into a
+        failure — the data is simply served unpromoted."""
+        for upper in self.tiers[:index]:
+            if not upper.writable:
+                continue
+            try:
+                upper.write(digest, data)
+            except (OSError, ConfigError):
+                continue
+            if not upper.contains(digest):
+                # Admission refused (oversized for the tier's budget):
+                # not a promotion — the stats must keep telling the truth
+                # about which digests actually became hot.
+                continue
+            self._count("promotions")
+            if getattr(upper, "capped", False):
+                # Promotion bypasses the front-end's post-put gc, so a
+                # size-capped tier enforces its caps here.
+                upper.gc(sweep_tmp=False)
+
+    def peek(self, digest: str) -> bytes | None:
+        for tier in self.tiers:
+            data = tier.peek(digest)
+            if data is not None:
+                return data
+        return None
+
+    def write(self, digest: str, data: bytes) -> None:
+        writable = False
+        for tier in self.tiers:
+            if not tier.writable:
+                continue
+            writable = True
+            tier.write(digest, data)
+            if not tier.contains(digest):
+                # The tier refused admission (an entry bigger than a
+                # mem:// tier's whole budget): fall through so the write
+                # still lands in a roomier tier below instead of nowhere.
+                continue
+            self._count("writes")
+            if getattr(tier, "capped", False):
+                # Caps are enforced inline on the tier the write actually
+                # landed in — the front-end's post-put gc is skipped for
+                # tiered stores (``capped`` below), so an untouched capped
+                # tier is never re-scanned per put.
+                tier.gc(sweep_tmp=False)
+            if self.write_policy == "first":
+                return
+        if not writable:
+            raise ConfigError(
+                f"tiered store {self.url} has no writable tier to accept "
+                "writes"
+            )
+
+    def delete(self, digest: str) -> bool:
+        removed = False
+        for tier in self.tiers:
+            if tier.writable and tier.delete(digest):
+                removed = True
+        if removed:
+            self._count("deletes")
+        return removed
+
+    def discard(self, digest: str) -> bool:
+        """Corrupt-heal entry point for a *whole-stack* corrupt digest (the
+        front-end saw bad bytes): drop the copy each writable tier would
+        serve."""
+        removed = False
+        for tier in self.tiers:
+            if tier.writable and tier.discard(digest):
+                removed = True
+        if removed:
+            self._count("deletes")
+        return removed
+
+    def contains(self, digest: str) -> bool:
+        return any(tier.contains(digest) for tier in self.tiers)
+
+    def touch(self, digest: str) -> None:
+        # Refresh the hottest copy only: touching every tier would drag
+        # filesystem syscalls into a mem-tier hit for no LRU benefit (the
+        # lower copy's position catches up on its next real read).
+        for tier in self.tiers:
+            if tier.contains(digest):
+                tier.touch(digest)  # read-only tiers no-op internally
+                return
+
+    # -- introspection ------------------------------------------------------
+    def entries(self) -> Iterator[BackendEntry]:
+        """Union over tiers, hottest tier's metadata winning per digest."""
+        seen: set[str] = set()
+        for tier in self.tiers:
+            for entry in tier.entries():
+                if entry.digest in seen:
+                    continue
+                seen.add(entry.digest)
+                yield entry
+
+    # -- eviction -----------------------------------------------------------
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        *,
+        sweep_tmp: bool = True,
+    ) -> list[str]:
+        """Fan the caps out to every writable tier (each tier is capped
+        independently — a 2-entry cap keeps ≤2 entries *per tier*).
+
+        The returned digests are deduplicated: a promoted digest evicted
+        from several tiers is one logical eviction, matching how
+        :meth:`entries`/:meth:`stats` count it as one entry."""
+        seen: set[str] = set()
+        evicted: list[str] = []
+        for tier in self.tiers:
+            if not tier.writable:
+                continue
+            for digest in tier.gc(
+                max_bytes, max_entries, sweep_tmp=sweep_tmp
+            ):
+                if digest not in seen:
+                    seen.add(digest)
+                    evicted.append(digest)
+        return evicted
+
+    def clear(self) -> int:
+        """Empty every writable tier; counts *logical* entries removed (a
+        promoted digest's several copies are one entry)."""
+        unique = {
+            entry.digest
+            for tier in self.tiers
+            if tier.writable
+            for entry in tier.entries()
+        }
+        for tier in self.tiers:
+            if tier.writable:
+                tier.clear()
+        return len(unique)
+
+    def stats(self) -> dict[str, Any]:
+        """One entry pass per tier fills the per-tier blocks *and* the
+        deduplicated top-level totals — a promoted digest present in
+        several tiers is counted once (first/hottest copy wins), exactly
+        like :meth:`entries` and the front-end's ``disk_usage``."""
+        tier_stats = []
+        seen: set[str] = set()
+        union_bytes = 0
+        for tier in self.tiers:
+            tier_entries = list(tier.entries())
+            describe = getattr(tier, "describe", tier.stats)
+            tier_stats.append(
+                describe()
+                | {
+                    "n_entries": len(tier_entries),
+                    "total_bytes": sum(
+                        entry.size_bytes for entry in tier_entries
+                    ),
+                }
+            )
+            for entry in tier_entries:
+                if entry.digest not in seen:
+                    seen.add(entry.digest)
+                    union_bytes += entry.size_bytes
+        return {
+            "kind": "tiered",
+            "url": self.url,
+            "writable": self.writable,
+            "write_policy": self.write_policy,
+            "max_bytes": None,  # tiers own their caps
+            "max_entries": None,
+            "n_entries": len(seen),
+            "total_bytes": union_bytes,
+            "counters": self.counters.to_dict(),
+            "tiers": tier_stats,
+        }
+
+
+__all__ = ["TieredStore"]

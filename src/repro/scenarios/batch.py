@@ -172,7 +172,7 @@ def _compute_payload(scenario: Scenario | None = None) -> dict[str, Any]:
 def run_many(
     items: Iterable["Scenario | str | Path"],
     *,
-    store: ResultStore | None = None,
+    store: "ResultStore | str | Path | None" = None,
     use_cache: bool = True,
     workers: int | None = None,
 ) -> BatchResult:
@@ -183,7 +183,11 @@ def run_many(
     items:
         Scenarios, registry names, or paths to scenario JSON files.
     store:
-        The result store to consult/populate (``None`` = no persistence).
+        The result store to consult/populate (``None`` = no persistence):
+        a :class:`ResultStore`, a cache directory path, or a backend URL
+        (``mem://``, ``file:///path?shard=1``, ``ro:///mirror``, or
+        comma-separated tiers).  Read-only stores are consulted but never
+        written.
     use_cache:
         ``False`` bypasses the store in both directions (``--no-cache``).
     workers:
@@ -191,10 +195,13 @@ def run_many(
         sweep driver (grids inside each scenario stay serial per worker);
         falls back to serial exactly like any other sweep.
     """
+    if isinstance(store, (str, Path)):
+        store = ResultStore(store)
     scenarios = [resolve_scenario(item) for item in items]
     schema = store.schema_version if store is not None else SCHEMA_VERSION
     digests = [scenario_digest(scenario, schema) for scenario in scenarios]
     caching = store is not None and use_cache
+    persisting = caching and store.writable
 
     mapping_cache = default_mapping_cache()
     timing_cache = default_timing_cache()
@@ -230,7 +237,7 @@ def run_many(
         )
         for (digest, scenario), outcome in zip(to_compute, sweep.values()):
             payload = outcome["artifacts"]
-            if caching:
+            if persisting:
                 outcomes[digest] = store.put(
                     scenario, payload, wall_time_s=outcome["wall_time_s"]
                 )

@@ -8,6 +8,13 @@ system parameters map once and re-time per system), and timing runs on the
 memoized op-program engine.  Grids go through
 :func:`repro.analysis.sweep.run_sweep`, so ``workers=N`` fans scenario
 points out over worker processes exactly like any other sweep.
+
+This module always computes; store-aware execution (serve warm results
+from a pluggable storage backend — ``mem://``/``file://``/``ro://``
+tiers — instead of recomputing) is layered on top by
+:func:`repro.scenarios.store.run_cached` and
+:func:`repro.scenarios.batch.run_many`, both of which produce artifact
+payloads byte-identical to a direct :func:`run_scenario` render.
 """
 
 from __future__ import annotations

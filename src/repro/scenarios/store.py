@@ -9,7 +9,13 @@ meaning.  Any field mutation anywhere in the spec (a swept bandwidth, a
 different batch, a renamed extractor) changes the digest; any schema bump
 orphans every old entry.
 
-The store keeps one JSON file per digest under a cache directory::
+:class:`ResultStore` is a thin digest/orchestration front-end over a
+pluggable :class:`~repro.scenarios.backends.base.StoreBackend` — *where*
+the entry bytes live is the backend's business (a local cache directory,
+an in-process LRU, a read-only mirror, or a tier stack of all three; see
+:mod:`repro.scenarios.backends`).  The front-end owns addressing,
+validation, the corrupt/self-heal policy and the store-level stats.  The
+default backend keeps one JSON file per digest under a cache directory::
 
     <cache_dir>/<sha256-digest>.json
         { "format": "repro-scenario-result",
@@ -20,10 +26,16 @@ The store keeps one JSON file per digest under a cache directory::
 
 What is cached is the *artifact payload* — the raw-JSON stage, the rendered
 text figure/table and the CSV stage of the ``python -m repro`` pipeline —
-so a warm :func:`run_cached` is a pure file read: no systems are built, no
-workloads mapped, no kernels timed (the cache-correctness suite asserts the
-kernel-timing counters do not move), and the replayed artifacts are
-byte-identical to the cold run's.
+so a warm :func:`run_cached` is a pure backend read: no systems are built,
+no workloads mapped, no kernels timed (the cache-correctness suite asserts
+the kernel-timing counters do not move), and the replayed artifacts are
+byte-identical to the cold run's regardless of which backend served them.
+
+Stores are addressable by URL everywhere one is accepted
+(:func:`run_cached`, :func:`~repro.scenarios.batch.run_many`, the serving
+daemon, the CLI's ``--cache``): ``mem://``, ``file:///path?shard=1``,
+``ro:///mirror``, or comma-separated tiers — see
+:mod:`repro.scenarios.backends.url`.
 
 :func:`run_cached` is the store-aware single-scenario entry point; the
 batch runner (:mod:`repro.scenarios.batch`) and the CLI both route through
@@ -36,7 +48,6 @@ import functools
 import hashlib
 import json
 import os
-import re
 import socket
 import subprocess
 import threading
@@ -46,6 +57,14 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.errors import ConfigError
+from repro.scenarios.backends import (
+    STORE_FORMAT,
+    LocalFSBackend,
+    StoreBackend,
+    backend_from_url,
+    is_store_url,
+)
+from repro.scenarios.backends.base import DIGEST_RE, STALE_TMP_SECONDS
 from repro.scenarios.runner import ScenarioResult, run_scenario
 from repro.scenarios.spec import Scenario
 
@@ -54,24 +73,8 @@ from repro.scenarios.spec import Scenario
 #: the digest folds it in, so every old entry simply stops matching.
 SCHEMA_VERSION = 1
 
-#: Marker the entry files carry so foreign JSON is never misread as a result.
-STORE_FORMAT = "repro-scenario-result"
-
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Entry filename shape: the sha256 digest plus the ``.json`` suffix.
-_DIGEST_NAME = re.compile(r"[0-9a-f]{64}\.json")
-
-#: A full sha256 content address (the ``/results/<digest>`` route shape).
-_DIGEST = re.compile(r"[0-9a-f]{64}")
-
-#: Shard directory shape: the first two hex characters of the digest.
-_SHARD_DIR = re.compile(r"[0-9a-f]{2}")
-
-#: Orphaned temp files (a writer died mid-put) older than this are swept
-#: by :meth:`ResultStore.gc`.
-STALE_TMP_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -107,8 +110,8 @@ def scenario_digest(
 def is_digest(value: str) -> bool:
     """Whether ``value`` is a well-formed content address (64 lowercase hex
     chars) — the validation behind :meth:`ResultStore.read_digest` and the
-    serving daemon's ``/results`` route."""
-    return bool(_DIGEST.fullmatch(value))
+    serving daemon's ``/results`` routes."""
+    return bool(DIGEST_RE.fullmatch(value))
 
 
 @functools.lru_cache(maxsize=1)
@@ -224,7 +227,7 @@ class StoredResult:
 
     Both paths of :func:`run_cached` produce this type, so consumers — the
     CLI, the batch runner, the golden-fixture tests — see one interface
-    whether the numbers were just computed or replayed from disk.  The
+    whether the numbers were just computed or replayed from a backend.  The
     extracted series are read back out of the raw payload; the full report
     objects are intentionally *not* carried (a cache replay never builds
     them).
@@ -358,18 +361,19 @@ class StoreStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from disk."""
+        """Fraction of lookups served from the store."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
 @dataclass(frozen=True)
 class StoreEntry:
-    """On-disk metadata of one cached result (the ``cache stats`` view)."""
+    """Stored metadata of one cached result (the ``cache stats`` view)."""
 
     digest: str
     name: str
     kind: str
-    path: Path
+    #: Entry file, for filesystem-backed entries; ``None`` on ``mem://``.
+    path: Path | None
     size_bytes: int
     #: Last-use time (LRU position): ``put`` writes it, a ``get`` hit
     #: refreshes it, :meth:`ResultStore.gc` evicts ascending.
@@ -384,51 +388,112 @@ class StoreEntry:
 
 
 class ResultStore:
-    """On-disk, content-addressed cache of scenario results.
+    """Content-addressed cache of scenario results over one backend.
 
     ``get`` / ``put`` / ``invalidate`` key on :func:`scenario_digest`; a
-    corrupted or foreign entry file (truncated write, wrong format marker,
-    digest mismatch, stale schema) is counted, removed best-effort and
-    reported as a miss, so the caller always falls back to recompute.
+    corrupted or foreign entry (truncated write, wrong format marker,
+    digest mismatch, stale schema) is counted, removed best-effort *when
+    the backend is writable* (a read-only mirror is skipped, never healed)
+    and reported as a miss, so the caller always falls back to recompute.
 
-    Layout: flat by default (``<cache_dir>/<digest>.json``); with
-    ``shard=True`` entries live under a two-hex-prefix directory
-    (``<cache_dir>/ab/abcdef….json``) so very large registries never put
-    tens of thousands of files in one directory.  Reads understand *both*
-    layouts regardless of the flag, so flipping sharding on an existing
-    cache dir never orphans entries — new writes just land in the new
-    layout.
+    The backend is chosen by the first argument: a plain path (or nothing)
+    builds the default local-filesystem backend honoring
+    ``shard``/``max_bytes``/``max_entries``; a URL string (``mem://``,
+    ``file:///path?shard=1``, ``ro:///mirror``, comma-separated tiers)
+    routes through :func:`~repro.scenarios.backends.url.backend_from_url`;
+    an explicit ``backend=`` takes anything satisfying
+    :class:`~repro.scenarios.backends.base.StoreBackend`.
 
-    Eviction: ``max_bytes`` / ``max_entries`` cap the store with LRU
-    semantics over entry mtimes — ``put`` stamps one, a ``get`` hit
+    Eviction: ``max_bytes`` / ``max_entries`` cap the default backend with
+    LRU semantics over entry mtimes — ``put`` stamps one, a ``get`` hit
     refreshes it, and :meth:`gc` (invoked automatically after every ``put``
     when a cap is set, or explicitly / via CLI ``cache gc``) drops the
-    least-recently-used entries until the caps hold.
+    least-recently-used entries until the caps hold.  Tiered backends cap
+    their tiers individually (a ``mem://`` tier self-evicts inline).
 
     Every instance is safe to share across threads, and many processes may
-    point at one cache dir: writes are atomic (unique temp file + rename),
-    readers treat torn/competing state as a miss and self-heal.
+    point at one cache dir: writes are atomic, readers treat torn/competing
+    state as a miss and self-heal.
     """
 
     def __init__(
         self,
-        cache_dir: str | Path | None = None,
+        cache_dir: "str | Path | None" = None,
         schema_version: int = SCHEMA_VERSION,
         *,
         max_bytes: int | None = None,
         max_entries: int | None = None,
         shard: bool = False,
+        backend: StoreBackend | None = None,
     ) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        explicit_knobs = (
+            max_bytes is not None or max_entries is not None or shard
+        )
+        if backend is not None or (
+            isinstance(cache_dir, str) and is_store_url(cache_dir)
+        ):
+            # URL addressing/explicit backends carry their own knobs (as
+            # query parameters / constructor arguments); the keyword knobs
+            # only configure the default backend and must conflict loudly
+            # rather than be silently discarded.
+            if explicit_knobs:
+                raise ConfigError(
+                    "shard/max_bytes/max_entries only configure the "
+                    "default cache-dir backend; with a store URL put them "
+                    "in the URL (file:///path?shard=1&max_bytes=N), with "
+                    "an explicit backend pass them to its constructor"
+                )
+        if backend is not None and cache_dir is not None:
+            raise ConfigError(
+                "cache_dir and backend are mutually exclusive — an "
+                "explicit backend already knows where its entries live"
+            )
+        if backend is not None:
+            self.backend: StoreBackend = backend
+        elif isinstance(cache_dir, str) and is_store_url(cache_dir):
+            self.backend = backend_from_url(cache_dir)
+        else:
+            self.backend = LocalFSBackend(
+                Path(cache_dir) if cache_dir else default_cache_dir(),
+                shard=shard,
+                max_bytes=max_bytes,
+                max_entries=max_entries,
+            )
         self.schema_version = schema_version
-        self.max_bytes = max_bytes
-        self.max_entries = max_entries
-        self.shard = shard
         self.stats = StoreStats()
-        #: Guards counter updates only — file I/O itself needs no lock
-        #: (atomic rename + validate-on-read), and must not hold one, or
-        #: warm readers would serialize behind each other.
+        #: Guards counter updates only — backend I/O itself needs no lock
+        #: here (atomic writes + validate-on-read), and must not hold one,
+        #: or warm readers would serialize behind each other.
         self._stats_lock = threading.Lock()
+
+    # -- backend pass-throughs (back-compat surface) ------------------------
+    @property
+    def url(self) -> str:
+        """The backend's URL-style address (the ``--cache`` syntax)."""
+        return self.backend.url
+
+    @property
+    def writable(self) -> bool:
+        """Whether :meth:`put` would be accepted (``False`` on ``ro://``)."""
+        return self.backend.writable
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The backing directory, when the backend has one (``mem://``
+        stores have no filesystem presence)."""
+        return getattr(self.backend, "cache_dir", None)
+
+    @property
+    def shard(self) -> bool:
+        return getattr(self.backend, "shard", False)
+
+    @property
+    def max_bytes(self) -> int | None:
+        return getattr(self.backend, "max_bytes", None)
+
+    @property
+    def max_entries(self) -> int | None:
+        return getattr(self.backend, "max_entries", None)
 
     # -- addressing ---------------------------------------------------------
     def digest(self, scenario: Scenario) -> str:
@@ -436,19 +501,17 @@ class ResultStore:
         return scenario_digest(scenario, self.schema_version)
 
     def path_for(self, scenario: Scenario) -> Path:
-        """The entry file a scenario's result lives in (write layout)."""
+        """The entry file a scenario's result lives in (write layout);
+        only meaningful on filesystem-backed stores."""
         return self._path_for_digest(self.digest(scenario))
 
     def _path_for_digest(self, digest: str) -> Path:
-        if self.shard:
-            return self.cache_dir / digest[:2] / f"{digest}.json"
-        return self.cache_dir / f"{digest}.json"
-
-    def _candidate_paths(self, digest: str) -> tuple[Path, Path]:
-        """This store's layout first, the other layout second."""
-        sharded = self.cache_dir / digest[:2] / f"{digest}.json"
-        flat = self.cache_dir / f"{digest}.json"
-        return (sharded, flat) if self.shard else (flat, sharded)
+        path_for_digest = getattr(self.backend, "path_for_digest", None)
+        if path_for_digest is None:
+            raise ConfigError(
+                f"store backend {self.url!r} has no filesystem paths"
+            )
+        return path_for_digest(digest)
 
     # -- traffic ------------------------------------------------------------
     def get(self, scenario: Scenario) -> StoredResult | None:
@@ -481,57 +544,55 @@ class ResultStore:
 
     def _read_entry(self, digest: str) -> dict[str, Any] | None:
         """Load + validate one entry by digest; counts hit/miss/corrupt."""
-        primary, fallback = self._candidate_paths(digest)
-        for path in (primary, fallback):
-            try:
-                entry = json.loads(path.read_text())
-            except FileNotFoundError:
-                continue
-            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-                return self._corrupt(path)
-            if (
-                not isinstance(entry, dict)
-                or entry.get("format") != STORE_FORMAT
-                or entry.get("schema_version") != self.schema_version
-                or entry.get("digest") != digest
-                or not isinstance(entry.get("artifacts"), dict)
-                or not isinstance(entry["artifacts"].get("raw"), dict)
-                or not isinstance(entry["artifacts"].get("text"), str)
-            ):
-                return self._corrupt(path)
+        try:
+            data = self.backend.read(digest)
+        except OSError:
+            return self._corrupt(digest)
+        if data is None:
             with self._stats_lock:
-                self.stats.hits += 1
-            self._touch(path)
-            return entry
+                self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            return self._corrupt(digest)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != STORE_FORMAT
+            or entry.get("schema_version") != self.schema_version
+            or entry.get("digest") != digest
+            or not isinstance(entry.get("artifacts"), dict)
+            or not isinstance(entry["artifacts"].get("raw"), dict)
+            or not isinstance(entry["artifacts"].get("text"), str)
+        ):
+            return self._corrupt(digest)
         with self._stats_lock:
-            self.stats.misses += 1
-        return None
+            self.stats.hits += 1
+        # No explicit touch: a backend read refreshes the served copy's
+        # LRU position itself, so a mem-tier hit stays free of filesystem
+        # syscalls.
+        return entry
 
     def contains(self, digest: str) -> bool:
-        """Whether an entry *file* exists for ``digest``, in either layout.
+        """Whether an entry exists for ``digest`` in the backend.
 
         A cheap existence probe — no read, no validation, no stats traffic.
         A ``True`` may still turn into a miss on the real ``get`` (corrupt
         entry), so use it only as a fast-path hint, never as a guarantee.
         """
-        return any(path.exists() for path in self._candidate_paths(digest))
+        return self.backend.contains(digest)
 
-    def _touch(self, path: Path) -> None:
-        """Refresh an entry's LRU position; losing the race is harmless."""
-        try:
-            os.utime(path)
-        except OSError:
-            pass
-
-    def _corrupt(self, path: Path) -> None:
-        """Count + drop an unusable entry; the caller recomputes."""
+    def _corrupt(self, digest: str) -> None:
+        """Count an unusable entry and heal it on writable backends by
+        discarding *the copy that was served* (a valid same-digest copy in
+        another layout or tier survives); a read-only mirror's corrupt
+        entries are skipped, never touched.  The caller recomputes either
+        way."""
         with self._stats_lock:
             self.stats.corrupt += 1
             self.stats.misses += 1
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        if self.backend.writable:
+            self.backend.discard(digest)
         return None
 
     def put(
@@ -545,13 +606,14 @@ class ResultStore:
         """Store a result (or a pre-built artifact payload) and return the
         stored view.
 
-        The write is atomic (per-writer-unique temp file + rename), so a
-        reader never sees a half-written entry even with many processes
-        hammering one digest.  Each entry is stamped with
-        :class:`Provenance` (``provenance`` overrides, ``wall_time_s``
-        annotates the default stamp); provenance never feeds the digest.
-        When ``max_bytes``/``max_entries`` caps are set, :meth:`gc` runs
-        after the write.
+        The write is atomic per backend contract, so a reader never sees a
+        half-written entry even with many processes hammering one digest.
+        Each entry is stamped with :class:`Provenance` (``provenance``
+        overrides, ``wall_time_s`` annotates the default stamp); provenance
+        never feeds the digest.  When ``max_bytes``/``max_entries`` caps
+        are set, :meth:`gc` runs after the write.  Raises
+        :class:`~repro.errors.ConfigError` on a read-only backend — use
+        :func:`run_cached`, which skips persistence on mirrors.
         """
         if isinstance(result, ScenarioResult):
             payload: Mapping[str, Any] = artifact_payload(result)
@@ -572,22 +634,15 @@ class ResultStore:
                 "csv": payload.get("csv"),
             },
         }
-        path = self._path_for_digest(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / (
-            f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        self.backend.write(
+            digest, (json.dumps(entry, indent=1) + "\n").encode()
         )
-        try:
-            tmp.write_text(json.dumps(entry, indent=1) + "\n")
-            os.replace(tmp, path)
-        finally:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
         with self._stats_lock:
             self.stats.puts += 1
-        if self.max_bytes is not None or self.max_entries is not None:
+        # Auto-gc whenever the backend relies on a post-write pass for its
+        # caps — including caps configured on individual tiers of a tiered
+        # stack (mem:// tiers self-evict inline and never need this).
+        if getattr(self.backend, "capped", False):
             self.gc(sweep_tmp=False)
         return stored_from_payload(
             scenario, payload, digest, provenance=provenance
@@ -595,14 +650,7 @@ class ResultStore:
 
     def invalidate(self, scenario: Scenario) -> bool:
         """Drop one scenario's entry; ``True`` if something was removed."""
-        digest = self.digest(scenario)
-        removed = False
-        for path in self._candidate_paths(digest):
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            removed = True
+        removed = self.backend.delete(self.digest(scenario))
         if removed:
             with self._stats_lock:
                 self.stats.invalidations += 1
@@ -610,16 +658,9 @@ class ResultStore:
 
     def clear(self) -> int:
         """Remove every entry; returns how many were dropped."""
-        removed = 0
-        for path in self._entry_paths():
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            removed += 1
+        removed = self.backend.clear()
         with self._stats_lock:
             self.stats.invalidations += removed
-        self._prune_shard_dirs()
         return removed
 
     # -- eviction -----------------------------------------------------------
@@ -632,158 +673,113 @@ class ResultStore:
     ) -> list[str]:
         """Enforce the size caps by LRU eviction; returns evicted digests.
 
-        Entries are ordered by mtime (``put`` stamps, ``get`` refreshes) and
-        the least recently used are unlinked until both caps hold.  Explicit
-        arguments override the store's configured caps for this call; with
-        no cap at all this only sweeps stale temp files.  Concurrent
-        evictors racing on the same files are fine — whoever loses the
-        unlink just skips the entry.
-
-        Cost is one directory scan — O(entries on disk), which the caps
-        themselves keep bounded at ~``max_entries`` between runs.  The
-        auto-gc after ``put`` passes ``sweep_tmp=False`` so the routine
-        write path pays for one scan, not two; explicit/CLI gc also sweeps
-        temp files orphaned by writers that died mid-``put``.
+        Entries are ordered by last use (``put`` stamps, ``get`` refreshes)
+        and the least recently used are dropped until both caps hold.
+        Explicit arguments override the backend's configured caps for this
+        call; with no cap at all this only sweeps stale temp files on
+        filesystem backends.  On a tiered backend the caps apply per
+        writable tier; read-only mirrors are never evicted from.
         """
-        if max_bytes is None:
-            max_bytes = self.max_bytes
-        if max_entries is None:
-            max_entries = self.max_entries
-        if sweep_tmp:
-            self._sweep_stale_tmp()
-        if max_bytes is None and max_entries is None:
-            return []
-
-        entries: list[tuple[float, int, Path]] = []
-        for path in self._entry_paths():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort()  # oldest mtime first = least recently used
-
-        total_bytes = sum(size for _, size, _ in entries)
-        n_entries = len(entries)
-        evicted: list[str] = []
-        for _, size, path in entries:
-            over_bytes = max_bytes is not None and total_bytes > max_bytes
-            over_count = max_entries is not None and n_entries > max_entries
-            if not over_bytes and not over_count:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total_bytes -= size
-            n_entries -= 1
-            evicted.append(path.name[: -len(".json")])
+        evicted = self.backend.gc(
+            max_bytes, max_entries, sweep_tmp=sweep_tmp
+        )
         with self._stats_lock:
             self.stats.evictions += len(evicted)
-        if evicted:
-            self._prune_shard_dirs()
         return evicted
-
-    def _sweep_stale_tmp(self) -> None:
-        """Drop temp files orphaned by a writer that died mid-``put``."""
-        if not self.cache_dir.is_dir():
-            return
-        cutoff = time.time() - STALE_TMP_SECONDS
-        for pattern in ("*.tmp", "[0-9a-f][0-9a-f]/*.tmp"):
-            for path in self.cache_dir.glob(pattern):
-                try:
-                    if path.stat().st_mtime < cutoff:
-                        path.unlink()
-                except OSError:
-                    continue
-
-    def _prune_shard_dirs(self) -> None:
-        """Remove shard directories left empty by eviction/clearing."""
-        if not self.cache_dir.is_dir():
-            return
-        for child in self.cache_dir.iterdir():
-            if child.is_dir() and _SHARD_DIR.fullmatch(child.name):
-                try:
-                    child.rmdir()  # fails (correctly) unless empty
-                except OSError:
-                    continue
 
     # -- introspection ------------------------------------------------------
     def _entry_paths(self) -> list[Path]:
-        """Files that are store entries *by name* (``<64-hex-digest>.json``),
-        in either layout.
-
-        ``clear()`` and ``gc()`` unlink these, so the filter is deliberately
-        strict: a cache dir pointed at a directory holding other JSON must
-        never have that data counted — let alone deleted — as store entries.
-        """
-        if not self.cache_dir.is_dir():
-            return []
-        candidates = list(self.cache_dir.glob("*.json"))
-        candidates += self.cache_dir.glob("[0-9a-f][0-9a-f]/*.json")
-        return sorted(
-            path for path in candidates if _DIGEST_NAME.fullmatch(path.name)
-        )
+        """Entry files of a filesystem-backed store (test/diagnostic hook)."""
+        entry_paths = getattr(self.backend, "_entry_paths", None)
+        if entry_paths is not None:
+            return entry_paths()
+        return [
+            entry.path
+            for entry in self.backend.entries()
+            if entry.path is not None
+        ]
 
     @property
     def n_entries(self) -> int:
-        """Entry files currently on disk."""
-        return len(self._entry_paths())
+        """Entries currently stored."""
+        return self.disk_usage()[0]
 
     @property
     def total_bytes(self) -> int:
-        """Total on-disk size of all entries."""
+        """Total stored size of all entries."""
         return self.disk_usage()[1]
 
     def disk_usage(self) -> tuple[int, int]:
-        """``(n_entries, total_bytes)`` in a single directory scan — what a
+        """``(n_entries, total_bytes)`` in a single backend scan — what a
         polled monitoring endpoint should call instead of reading the two
         properties (and scanning twice)."""
         count = 0
         total = 0
-        for path in self._entry_paths():
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
+        for entry in self.backend.entries():
             count += 1
+            total += entry.size_bytes
         return count, total
 
     def entries(self) -> Iterator[StoreEntry]:
-        """On-disk metadata per entry (unreadable files are skipped)."""
-        for path in self._entry_paths():
+        """Stored metadata per entry (unreadable entries are skipped).
+
+        Reads are side-effect free — the entry file discovered by the
+        backend scan is read directly when it has a path (no second
+        candidate walk per digest), falling back to the backend's ``peek``
+        for path-less backends — so introspection never perturbs LRU
+        positions or hit/miss counters.
+        """
+        for backend_entry in self.backend.entries():
+            if backend_entry.path is not None:
+                try:
+                    data = backend_entry.path.read_bytes()
+                except OSError:
+                    continue
+            else:
+                data = self.backend.peek(backend_entry.digest)
+            if data is None:
+                continue
             try:
-                entry = json.loads(path.read_text())
+                entry = json.loads(data)
                 scenario = entry["scenario"]
-                stat = path.stat()
                 yield StoreEntry(
                     digest=entry["digest"],
                     name=scenario["name"],
                     kind=scenario["kind"],
-                    path=path,
-                    size_bytes=stat.st_size,
-                    mtime=stat.st_mtime,
+                    path=backend_entry.path,
+                    size_bytes=backend_entry.size_bytes,
+                    mtime=backend_entry.mtime,
                     provenance=Provenance.from_dict(entry.get("provenance")),
                 )
-            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            except (ValueError, KeyError, TypeError):
                 continue
 
 
 def run_cached(
     scenario: Scenario,
-    store: ResultStore | None = None,
+    store: "ResultStore | str | Path | None" = None,
     *,
     use_cache: bool = True,
     workers: int | None = None,
 ) -> StoredResult:
     """Run a scenario through the result store.
 
-    A warm entry is a pure file read (zero mappings, zero kernel timings);
-    a miss computes via :func:`~repro.scenarios.runner.run_scenario` and
-    stores the artifact payload.  ``use_cache=False`` bypasses the store in
+    ``store`` may be a :class:`ResultStore`, a cache directory path, or a
+    backend URL (``mem://``, ``file:///path``, ``ro:///mirror``, tiers).
+    A URL builds a fresh store *per call* — fine for filesystem backends
+    (the entries persist), pointless for a bare ``mem://`` (the tier dies
+    with the call); to share an in-memory tier across calls, build one
+    :class:`ResultStore` and pass it.
+    A warm entry is a pure backend read (zero mappings, zero kernel
+    timings); a miss computes via
+    :func:`~repro.scenarios.runner.run_scenario` and stores the artifact
+    payload — except on read-only stores (``ro://`` mirrors), which are
+    consulted but never written.  ``use_cache=False`` bypasses the store in
     both directions — nothing is read *or* written (the CLI's
     ``--no-cache``).
     """
+    if isinstance(store, (str, Path)):
+        store = ResultStore(store)
     caching = store is not None and use_cache
     if caching:
         cached = store.get(scenario)
@@ -792,7 +788,7 @@ def run_cached(
     t0 = time.perf_counter()
     result = run_scenario(scenario, workers=workers)
     wall_time_s = time.perf_counter() - t0
-    if caching:
+    if caching and store.writable:
         return store.put(scenario, result, wall_time_s=wall_time_s)
     schema = store.schema_version if store is not None else SCHEMA_VERSION
     return stored_from_payload(

@@ -7,24 +7,32 @@ semantics) can be unit- and fuzz-tested in-process at memory speed; the
 thin :mod:`repro.serving.server` layer adapts it onto
 ``http.server.ThreadingHTTPServer``.
 
-Routes (all responses are JSON)::
+Routes (responses are JSON unless noted)::
 
-    GET  /healthz            liveness + schema version
-    GET  /stats              server counters + store stats + provenance
-    GET  /scenarios          the registry (name, kind, description, digest)
-    GET  /scenarios/<name>   one spec (the ``to_dict`` form) + its digest
-    POST /run                run one scenario ({"scenario": name-or-spec})
-                             or a batch ({"scenarios": [...]})
-    GET  /results/<digest>   one stored entry by bare content address
+    GET  /healthz                 liveness + schema version
+    GET  /stats                   server counters + store/backend stats
+                                  (per-tier breakdowns) + provenance ages
+    GET  /scenarios               the registry (name, kind, description,
+                                  digest)
+    GET  /scenarios/<name>        one spec (the ``to_dict`` form) + digest
+    POST /run                     run one scenario ({"scenario":
+                                  name-or-spec}) or a batch
+                                  ({"scenarios": [...]})
+    GET  /results/<digest>        one stored entry by bare content address
+    GET  /results/<digest>/csv    the cached CSV artifact (``text/csv``)
+    GET  /results/<digest>/text   the rendered figure/table
+                                  (``text/plain``)
 
-Caching contract: the response to ``POST /run`` and ``GET /results/…`` is
-fully determined by the spec digest (the store's content address), so the
-digest **is** the ``ETag`` — a request carrying a matching
-``If-None-Match`` is answered ``304`` before the store is even consulted,
-a warm digest is served straight from the :class:`ResultStore` as a pure
-file read, and only genuine misses enter the compute path (serialized
-under one lock so concurrent cold requests share, not duplicate, the
-process-wide mapping/timing caches).
+Caching contract: the response to ``POST /run`` and ``GET /results/…``
+(all three representations) is fully determined by the spec digest (the
+store's content address), so the digest **is** the ``ETag`` — a request
+carrying a matching ``If-None-Match`` is answered ``304`` before the
+store is even consulted, a warm digest is served straight from the
+:class:`ResultStore` backend (with a ``mem://`` tier stacked over the
+cache dir, hot digests never touch the filesystem at all), and only
+genuine misses enter the compute path (serialized under one lock so
+concurrent cold requests share, not duplicate, the process-wide
+mapping/timing caches).
 
 Error contract: every failure is a structured JSON body
 ``{"error": <slug>, "detail": <human text>}`` with the right 4xx status —
@@ -41,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import statistics
 import threading
 import time
 from dataclasses import dataclass, field
@@ -69,17 +78,30 @@ MAX_STATS_PROVENANCE_SCAN = 256
 
 @dataclass(frozen=True)
 class Response:
-    """One routed response: status, JSON body (``None`` ⇒ bodyless 304),
-    and extra headers (``ETag``)."""
+    """One routed response: status, body (``None`` ⇒ bodyless 304), extra
+    headers (``ETag``) and an optional content type.
+
+    ``content_type=None`` (the default) means a JSON body serialized by
+    :meth:`body_bytes`; the artifact routes (``…/csv``, ``…/text``) set an
+    explicit type and carry their body as raw text, byte-identical to the
+    CLI-written artifact files.
+    """
 
     status: int
     body: Any
     headers: Mapping[str, str] = field(default_factory=dict)
+    #: ``None`` ⇒ ``application/json``; otherwise sent verbatim and the
+    #: body is raw text/bytes, not JSON-serialized.
+    content_type: str | None = None
 
     def body_bytes(self) -> bytes:
-        """The serialized JSON body (empty for bodyless responses)."""
+        """The serialized body (empty for bodyless responses)."""
         if self.body is None:
             return b""
+        if self.content_type is not None:
+            if isinstance(self.body, bytes):
+                return self.body
+            return str(self.body).encode()
         return (json.dumps(self.body, indent=1) + "\n").encode()
 
 
@@ -145,11 +167,15 @@ class ServingApp:
 
     def __init__(
         self,
-        store: ResultStore | None = None,
+        store: "ResultStore | str | None" = None,
         *,
         workers: int | None = None,
         max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
+        if isinstance(store, str):
+            # URL addressing: mem://, file:///path?shard=1, ro:///mirror,
+            # comma-separated tiers, or a bare cache-dir path.
+            store = ResultStore(store)
         self.store = store if store is not None else ResultStore()
         self.workers = workers
         self.max_body_bytes = max_body_bytes
@@ -227,6 +253,10 @@ class ServingApp:
             return self._require_get(method) or self._handle_result(
                 parts[1], headers
             )
+        if len(parts) == 3 and parts[0] == "results":
+            return self._require_get(method) or self._handle_result_artifact(
+                parts[1], parts[2], headers
+            )
         if parts == ["run"]:
             if method != "POST":
                 return error_response(
@@ -251,7 +281,12 @@ class ServingApp:
         )
 
     def _handle_stats(self) -> Response:
-        n_entries, total_bytes = self.store.disk_usage()  # one stat scan
+        # One backend scan covers sizes *and* the per-tier breakdown; the
+        # top-level n_entries/total_bytes are read out of the same block
+        # instead of a second disk_usage() walk.
+        backend_block = self.store.backend.stats()
+        n_entries = backend_block["n_entries"]
+        total_bytes = backend_block["total_bytes"]
         scanned = list(
             itertools.islice(self.store.entries(), MAX_STATS_PROVENANCE_SCAN)
         )
@@ -266,6 +301,9 @@ class ServingApp:
             "entries_missing_provenance": len(scanned) - len(with_provenance),
             "oldest_created_unix": min(stamps) if stamps else None,
             "newest_created_unix": max(stamps) if stamps else None,
+            "median_created_unix": (
+                statistics.median(stamps) if stamps else None
+            ),
             "hosts": sorted(
                 {entry.provenance.host for entry in with_provenance}
             ),
@@ -277,12 +315,17 @@ class ServingApp:
                 }
             ),
         }
+        cache_dir = self.store.cache_dir
         return Response(
             200,
             {
                 "server": self.stats.to_dict(),
                 "store": {
-                    "cache_dir": str(self.store.cache_dir),
+                    "url": self.store.url,
+                    "writable": self.store.writable,
+                    "cache_dir": (
+                        str(cache_dir) if cache_dir is not None else None
+                    ),
                     "schema_version": self.store.schema_version,
                     "shard": self.store.shard,
                     "max_bytes": self.store.max_bytes,
@@ -291,6 +334,10 @@ class ServingApp:
                     "n_entries": n_entries,
                     "total_bytes": total_bytes,
                     "counters": self.store.stats.to_dict(),
+                    # Per-backend (and, for tiered stores, per-tier)
+                    # breakdown — how shared mirrors and hot tiers are
+                    # audited.
+                    "backend": backend_block,
                     "provenance": provenance_block,
                 },
             },
@@ -365,6 +412,65 @@ class ServingApp:
                 "artifacts": entry["artifacts"],
             },
             {"ETag": etag_for(entry["digest"])},
+        )
+
+    #: Content negotiation (the ``/results/<digest>/<stage>`` routes): each
+    #: cached artifact stage served raw with its own media type.  Bytes
+    #: match the CLI-written artifact files exactly (text files carry the
+    #: trailing newline ``write_artifacts`` adds).
+    ARTIFACT_STAGES = {
+        "csv": ("csv", "text/csv; charset=utf-8"),
+        "text": ("text", "text/plain; charset=utf-8"),
+    }
+
+    def _handle_result_artifact(
+        self, digest: str, stage: str, headers: Mapping[str, str]
+    ) -> Response:
+        if stage not in self.ARTIFACT_STAGES:
+            return error_response(
+                404,
+                "unknown-artifact",
+                f"no artifact stage {stage!r}: expected one of "
+                f"{sorted(self.ARTIFACT_STAGES)}",
+            )
+        digest = digest.lower()
+        if not is_digest(digest):
+            return error_response(
+                400,
+                "bad-digest",
+                f"malformed result digest {digest!r}: expected 64 hex chars",
+            )
+        key, content_type = self.ARTIFACT_STAGES[stage]
+        # Unlike the JSON route, a matching If-None-Match cannot be
+        # answered from a bare existence probe: the entry may exist while
+        # *this stage* does not (a table scenario has no CSV), and a 304
+        # would wrongly assert the client's cached representation is still
+        # valid.  So the entry is read either way and the 304 only covers
+        # representations that actually exist.
+        entry = self.store.read_digest(digest)
+        if entry is None:
+            return error_response(
+                404, "unknown-digest", f"no stored result {digest!r}"
+            )
+        artifact = entry["artifacts"].get(key)
+        if not isinstance(artifact, str):
+            return error_response(
+                404,
+                f"no-{stage}-artifact",
+                f"stored result {digest!r} has no {stage} artifact"
+                + (" (not a grid scenario)" if key == "csv" else ""),
+            )
+        if if_none_match_matches(headers.get("if-none-match"), digest):
+            return Response(304, None, {"ETag": etag_for(digest)})
+        if key == "text":
+            # write_artifacts() emits <name>.txt with a trailing newline;
+            # serve the same bytes.
+            artifact = artifact + "\n"
+        return Response(
+            200,
+            artifact,
+            {"ETag": etag_for(digest)},
+            content_type=content_type,
         )
 
     # -- POST /run ----------------------------------------------------------

@@ -30,6 +30,7 @@ import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.errors import ConfigError
 from repro.scenarios.store import ResultStore
 from repro.serving.app import MAX_BODY_BYTES, Response, ServingApp, error_response
 
@@ -147,7 +148,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             return
         payload = response.body_bytes()
-        self.send_header("Content-Type", "application/json")
+        self.send_header(
+            "Content-Type", response.content_type or "application/json"
+        )
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         if not head_only:
@@ -188,6 +191,7 @@ def create_server(
     port: int = 0,
     *,
     store: ResultStore | None = None,
+    cache: str | None = None,
     cache_dir: str | Path | None = None,
     workers: int | None = None,
     max_cache_bytes: int | None = None,
@@ -198,10 +202,36 @@ def create_server(
 ) -> ReproHTTPServer:
     """Build a ready-to-serve daemon (``port=0`` binds an ephemeral port).
 
-    Pass a :class:`ResultStore` directly, or the store knobs
+    Pass a :class:`ResultStore` directly, a ``cache`` backend URL
+    (``mem://,file:///path`` stacks a hot tier over the cache dir — see
+    :mod:`repro.scenarios.backends.url`; supersedes the other store
+    knobs), or the store knobs
     (``cache_dir``/``max_cache_bytes``/``max_cache_entries``/``shard``)
     to have one built.
     """
+    if store is not None and cache is not None:
+        raise ConfigError(
+            "store and cache are mutually exclusive — pass the URL or a "
+            "ready-built ResultStore, not both"
+        )
+    if store is None and cache is not None:
+        # Compare against None/False, not truthiness: an explicit 0 cap is
+        # a real knob and must conflict just as loudly.
+        if (
+            cache_dir is not None
+            or max_cache_bytes is not None
+            or max_cache_entries is not None
+            or shard
+        ):
+            # Explicit store knobs must never be silently discarded: with
+            # URL addressing they belong in the URL's query parameters.
+            raise ConfigError(
+                "--cache is mutually exclusive with --cache-dir/"
+                "--max-cache-bytes/--max-cache-entries/--shard; put them "
+                "in the URL instead, e.g. "
+                "file:///path?shard=1&max_bytes=N&max_entries=N"
+            )
+        store = ResultStore(cache)
     if store is None:
         store = ResultStore(
             cache_dir,
@@ -217,7 +247,7 @@ def serve_forever(server: ReproHTTPServer) -> int:
     """Run until interrupted (the CLI's blocking loop); returns exit code."""
     print(
         f"repro serving on {server.url} "
-        f"(cache dir {server.app.store.cache_dir})",
+        f"(store {server.app.store.url})",
         file=sys.stderr,
     )
     try:

@@ -1,0 +1,658 @@
+"""Backend conformance suite: one contract, every backend.
+
+The same put/get round-trip, LRU eviction order, corrupt-entry handling
+and digest-stability checks run against ``LocalFSBackend``,
+``InMemoryBackend`` and a mem-over-file ``TieredStore`` — any backend that
+passes serves byte-identical artifacts through the front-end.  Mirror- and
+tier-specific policies (read-only refusal, skip-not-heal, promotion,
+write-back) and the URL address syntax are pinned separately below.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.errors import ConfigError
+from repro.scenarios import Scenario
+from repro.scenarios.backends import (
+    STORE_FORMAT,
+    InMemoryBackend,
+    LocalFSBackend,
+    ReadOnlyMirrorBackend,
+    TieredStore,
+    backend_from_url,
+    is_store_url,
+)
+from repro.scenarios.store import ResultStore, run_cached
+
+
+def tiny_scenario(name: str = "backend-test") -> Scenario:
+    """A cheap spec for store-mechanics tests (never actually run)."""
+    return (
+        Scenario.builder(name, "backend conformance spec")
+        .training("GPT3-76.1B", batch=16)
+        .parallel(tensor_parallel=8, pipeline_parallel=8)
+        .on(SystemConfig(kind="scd_blade"))
+        .extracting("time_per_batch")
+        .build()
+    )
+
+
+def payload(tag: str = "x") -> dict:
+    return {"raw": {"series": {}, "tag": tag}, "text": tag, "csv": None}
+
+
+def entry_bytes(digest: str, tag: str = "raw") -> bytes:
+    """Minimal plausible entry bytes for raw-backend byte round-trips."""
+    return json.dumps(
+        {"format": STORE_FORMAT, "digest": digest, "tag": tag}
+    ).encode()
+
+
+BACKENDS = ("file", "mem", "tiered")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    """One instance of each conformance-suite backend."""
+    if request.param == "file":
+        return LocalFSBackend(tmp_path / "fs")
+    if request.param == "mem":
+        return InMemoryBackend()
+    return TieredStore(
+        [InMemoryBackend(), LocalFSBackend(tmp_path / "tier-fs")]
+    )
+
+
+@pytest.fixture
+def store(backend):
+    return ResultStore(backend=backend)
+
+
+class TestConformancePutGet:
+    def test_put_get_round_trip(self, store):
+        scenario = tiny_scenario()
+        assert store.get(scenario) is None
+        stored = store.put(scenario, payload("round-trip"))
+        warm = store.get(scenario)
+        assert warm is not None and warm.from_cache
+        assert warm.text == "round-trip"
+        assert warm.digest == stored.digest == store.digest(scenario)
+        assert warm.raw == {"series": {}, "tag": "round-trip"}
+        assert warm.provenance == stored.provenance
+        assert store.stats.hits == 1 and store.stats.misses == 1
+
+    def test_raw_byte_round_trip(self, backend):
+        digest = "ab" * 32
+        assert backend.read(digest) is None
+        assert not backend.contains(digest)
+        data = entry_bytes(digest)
+        backend.write(digest, data)
+        assert backend.contains(digest)
+        assert backend.read(digest) == data
+        assert backend.peek(digest) == data
+        assert backend.delete(digest)
+        assert not backend.contains(digest)
+        assert backend.read(digest) is None
+
+    def test_invalidate_and_clear(self, store):
+        a, b = tiny_scenario("clear-a"), tiny_scenario("clear-b")
+        store.put(a, payload())
+        store.put(b, payload())
+        assert store.n_entries == 2
+        assert store.invalidate(a)
+        assert not store.invalidate(a)  # already gone
+        assert store.clear() == 1
+        assert store.n_entries == 0
+
+    def test_entries_metadata_without_stats_traffic(self, store):
+        scenario = tiny_scenario("meta")
+        store.put(scenario, payload())
+        lookups = store.stats.lookups
+        (entry,) = store.entries()
+        assert entry.name == "meta"
+        assert entry.kind == "training"
+        assert entry.digest == store.digest(scenario)
+        assert entry.size_bytes > 0
+        # Introspection peeks: no hit/miss traffic, no LRU refresh.
+        assert store.stats.lookups == lookups
+
+
+class TestConformanceLRU:
+    def test_eviction_is_least_recently_used_first(self, store):
+        scenarios = []
+        for i in range(4):
+            scenario = tiny_scenario(f"lru-{i}")
+            store.put(scenario, payload(str(i)))
+            scenarios.append(scenario)
+            time.sleep(0.02)  # mtimes must not tie on coarse fs clocks
+        # Touch the oldest: it must now outlive entry 1.
+        assert store.get(scenarios[0]) is not None
+        time.sleep(0.02)
+        evicted = store.gc(max_entries=2)
+        assert len(evicted) == 2
+        assert set(evicted) == {
+            store.digest(scenarios[1]),
+            store.digest(scenarios[2]),
+        }
+        assert store.get(scenarios[0]) is not None
+        assert store.get(scenarios[3]) is not None
+        assert store.stats.evictions == 2
+
+    def test_byte_cap_empties_down(self, store):
+        for i in range(3):
+            store.put(tiny_scenario(f"bytes-{i}"), payload(str(i)))
+            time.sleep(0.02)
+        assert len(store.gc(max_bytes=0)) == 3
+        assert store.n_entries == 0
+
+
+class TestConformanceCorruption:
+    def test_torn_entry_is_a_miss_and_is_dropped(self, store, backend):
+        scenario = tiny_scenario("torn")
+        store.put(scenario, payload("good"))
+        digest = store.digest(scenario)
+        backend.write(digest, b"{ torn not json")
+        assert store.get(scenario) is None
+        # The unusable entry was counted (front-end or in-tier) and healed.
+        skipped = backend.stats()["counters"]["corrupt_skipped"]
+        assert store.stats.corrupt + skipped >= 1
+        assert not backend.contains(digest)
+        # The store recovers on the next put.
+        store.put(scenario, payload("healed"))
+        assert store.get(scenario).text == "healed"
+
+    def test_foreign_payload_is_rejected(self, store, backend):
+        scenario = tiny_scenario("foreign")
+        store.put(scenario, payload())
+        backend.write(
+            store.digest(scenario),
+            json.dumps({"format": "something-else"}).encode(),
+        )
+        assert store.get(scenario) is None
+
+    def test_digest_mismatch_is_rejected(self, store, backend):
+        scenario, impostor = tiny_scenario("real"), tiny_scenario("fake")
+        store.put(scenario, payload())
+        backend.write(
+            store.digest(scenario),
+            entry_bytes(store.digest(impostor)),
+        )
+        assert store.get(scenario) is None
+
+
+class TestCorruptHealPreservesOtherLayout:
+    def test_heal_discards_only_the_served_copy(self, tmp_path):
+        """A corrupt flat-layout entry must not take a valid sharded copy
+        of the same digest down with it."""
+        scenario = tiny_scenario("two-layouts")
+        flat = ResultStore(tmp_path)
+        sharded = ResultStore(tmp_path, shard=True)
+        sharded.put(scenario, payload("good-sharded-copy"))
+        digest = flat.digest(scenario)
+        # Plant a corrupt flat copy — the one a flat reader serves first.
+        (tmp_path / f"{digest}.json").write_text("{ torn")
+        assert flat.get(scenario) is None  # corrupt copy healed ...
+        assert flat.stats.corrupt == 1
+        assert not (tmp_path / f"{digest}.json").exists()
+        hit = flat.get(scenario)  # ... and the sharded copy survived
+        assert hit is not None and hit.text == "good-sharded-copy"
+
+
+class TestDigestIgnoresStorageMetadata:
+    def test_same_digest_and_artifacts_across_backends(self, tmp_path):
+        """Where an entry lives (and its storage metadata) never feeds the
+        content address: every backend serves the same digest and the same
+        artifact bytes."""
+        scenario = tiny_scenario("portable")
+        stores = [
+            ResultStore(backend=LocalFSBackend(tmp_path / "a")),
+            ResultStore(backend=InMemoryBackend()),
+            ResultStore(
+                backend=TieredStore(
+                    [InMemoryBackend(), LocalFSBackend(tmp_path / "b")]
+                )
+            ),
+        ]
+        views = [store.put(scenario, payload("portable")) for store in stores]
+        digests = {view.digest for view in views}
+        assert len(digests) == 1
+        warm = [store.get(scenario) for store in stores]
+        assert len({w.raw_json() for w in warm}) == 1
+        assert len({w.render() for w in warm}) == 1
+
+
+class TestInMemoryBackend:
+    def test_byte_cap_evicts_inline_on_write(self):
+        digests = [f"{i:064x}" for i in range(4)]
+        entry_size = len(entry_bytes(digests[0]))
+        backend = InMemoryBackend(max_bytes=3 * entry_size)
+        for digest in digests:
+            backend.write(digest, entry_bytes(digest))
+        # Four same-size entries against a three-entry budget: LRU went
+        # first, inline on the write that overflowed.
+        assert not backend.contains(digests[0])
+        assert all(backend.contains(d) for d in digests[1:])
+        assert backend.stats()["counters"]["evictions"] == 1
+        assert backend.stats()["total_bytes"] <= 3 * entry_size
+
+    def test_entry_cap(self):
+        backend = InMemoryBackend(max_entries=2)
+        digests = [f"{i:064x}" for i in range(3)]
+        for digest in digests:
+            backend.write(digest, entry_bytes(digest))
+        assert [d for d in digests if backend.contains(d)] == digests[1:]
+
+    def test_oversized_entry_is_refused_not_admitted(self):
+        """One entry bigger than the whole budget must never drain the
+        hot tier on its way to being evicted anyway."""
+        small = "0" * 64
+        backend = InMemoryBackend(max_bytes=200)
+        backend.write(small, entry_bytes(small))
+        huge = "1" * 64
+        backend.write(huge, b"x" * 500)
+        assert not backend.contains(huge)  # refused admission
+        assert backend.contains(small)  # ... without evicting the rest
+        assert backend.stats()["counters"]["evictions"] == 0
+
+
+class TestReadOnlyMirror:
+    @pytest.fixture
+    def mirror_dir(self, tmp_path):
+        """A producer-populated cache dir, mirrored read-only."""
+        producer = ResultStore(tmp_path / "mirror")
+        producer.put(tiny_scenario("mirrored"), payload("from-mirror"))
+        return tmp_path / "mirror"
+
+    def test_reads_a_producer_cache_dir(self, mirror_dir):
+        store = ResultStore(f"ro://{mirror_dir}")
+        assert not store.writable
+        hit = store.get(tiny_scenario("mirrored"))
+        assert hit is not None and hit.text == "from-mirror"
+
+    def test_put_is_refused(self, mirror_dir):
+        store = ResultStore(f"ro://{mirror_dir}")
+        with pytest.raises(ConfigError, match="read-only"):
+            store.put(tiny_scenario("new"), payload())
+
+    def test_run_cached_computes_without_writing(self, mirror_dir):
+        store = ResultStore(f"ro://{mirror_dir}")
+        scenario = (
+            Scenario.builder("ro-compute", "tiny real run")
+            .training("GPT3-76.1B", batch=32)
+            .parallel(tensor_parallel=8, pipeline_parallel=8)
+            .on(SystemConfig(kind="scd_blade"))
+            .extracting("time_per_batch")
+            .build()
+        )
+        result = run_cached(scenario, store)
+        assert not result.from_cache
+        assert store.n_entries == 1  # only the producer's entry
+        assert not store.contains(store.digest(scenario))
+
+    def test_corrupt_entries_are_skipped_not_healed(self, mirror_dir):
+        store = ResultStore(f"ro://{mirror_dir}")
+        scenario = tiny_scenario("mirrored")
+        path = next(iter(mirror_dir.glob("*.json")))
+        path.write_text("{ torn mirror entry")
+        assert store.get(scenario) is None
+        assert store.stats.corrupt == 1
+        assert path.exists()  # never deleted: the producer owns the mirror
+        assert path.read_text() == "{ torn mirror entry"
+
+    def test_touch_never_perturbs_mirror_mtimes(self, mirror_dir):
+        import os
+
+        path = next(iter(mirror_dir.glob("*.json")))
+        os.utime(path, (1_000_000, 1_000_000))
+        store = ResultStore(f"ro://{mirror_dir}")
+        assert store.get(tiny_scenario("mirrored")) is not None
+        assert path.stat().st_mtime == 1_000_000
+
+    def test_gc_and_clear_are_noops(self, mirror_dir):
+        store = ResultStore(f"ro://{mirror_dir}")
+        assert store.gc(max_entries=0) == []
+        assert store.clear() == 0
+        assert store.n_entries == 1
+
+
+class TestTieredStore:
+    def test_needs_at_least_one_tier(self):
+        with pytest.raises(ConfigError, match="at least one tier"):
+            TieredStore([])
+
+    def test_write_back_lands_in_the_first_writable_tier(self, tmp_path):
+        mem = InMemoryBackend()
+        fs = LocalFSBackend(tmp_path / "fs")
+        store = ResultStore(backend=TieredStore([mem, fs]))
+        scenario = tiny_scenario("write-back")
+        store.put(scenario, payload())
+        digest = store.digest(scenario)
+        assert mem.contains(digest)
+        assert not fs.contains(digest)  # lower tiers fill by promotion only
+
+    def test_read_through_promotes_and_then_skips_the_file_tier(
+        self, tmp_path
+    ):
+        """The acceptance criterion: after first promotion, a repeated
+        digest is served with zero file reads — pinned via per-tier
+        stats."""
+        scenario = tiny_scenario("hot")
+        producer = ResultStore(tmp_path / "fs")
+        cold = producer.put(scenario, payload("hot-entry"))
+
+        mem = InMemoryBackend()
+        fs = LocalFSBackend(tmp_path / "fs")
+        store = ResultStore(backend=TieredStore([mem, fs]))
+        digest = store.digest(scenario)
+
+        first = store.get(scenario)
+        assert first is not None and first.text == "hot-entry"
+        assert fs.counters.hits == 1  # served from the file tier once
+        assert mem.contains(digest)  # ... and promoted into mem
+        assert store.backend.counters.promotions == 1
+
+        file_reads = fs.counters.reads
+        for _ in range(5):
+            warm = store.get(scenario)
+            assert warm is not None
+            assert warm.raw_json() == cold.raw_json()
+        assert fs.counters.reads == file_reads  # zero file reads when hot
+        assert mem.counters.hits == 5
+
+    def test_corrupt_hot_copy_never_masks_the_durable_one(self, tmp_path):
+        scenario = tiny_scenario("masked")
+        fs = LocalFSBackend(tmp_path / "fs")
+        mem = InMemoryBackend()
+        store = ResultStore(backend=TieredStore([mem, fs]))
+        ResultStore(backend=fs).put(scenario, payload("durable"))
+        mem.write(store.digest(scenario), b"{ torn hot copy")
+        hit = store.get(scenario)
+        assert hit is not None and hit.text == "durable"
+        assert store.backend.counters.corrupt_skipped == 1
+        # The torn hot copy was dropped and replaced by promotion.
+        assert mem.peek(store.digest(scenario)) == fs.peek(
+            store.digest(scenario)
+        )
+
+    def test_mirror_tier_reads_through_without_writes(self, tmp_path):
+        producer = ResultStore(tmp_path / "mirror")
+        scenario = tiny_scenario("shared")
+        producer.put(scenario, payload("team-result"))
+
+        store = ResultStore(f"mem://,ro://{tmp_path / 'mirror'}")
+        hit = store.get(scenario)
+        assert hit is not None and hit.text == "team-result"
+        # Promoted into mem; the mirror itself is never written.
+        assert store.backend.tiers[0].contains(store.digest(scenario))
+        assert isinstance(store.backend.tiers[1], ReadOnlyMirrorBackend)
+        assert len(list((tmp_path / "mirror").glob("*.json"))) == 1
+
+    def test_write_through_policy_lands_in_every_writable_tier(
+        self, tmp_path
+    ):
+        mem = InMemoryBackend()
+        fs = LocalFSBackend(tmp_path / "fs")
+        store = ResultStore(
+            backend=TieredStore([mem, fs], write_policy="all")
+        )
+        scenario = tiny_scenario("durable")
+        store.put(scenario, payload())
+        digest = store.digest(scenario)
+        assert mem.contains(digest) and fs.contains(digest)
+        with pytest.raises(ConfigError, match="write policy"):
+            TieredStore([mem], write_policy="sometimes")
+
+    def test_capped_file_tier_is_gced_on_put_through_the_stack(
+        self, tmp_path
+    ):
+        """URL-configured tier caps are enforced inline on the write path
+        (on exactly the tier the write landed in — the front-end never
+        re-scans untouched tiers per put)."""
+        store = ResultStore(
+            f"file://{tmp_path}/capped?max_entries=2,ro://{tmp_path}/mirror"
+        )
+        assert not store.backend.capped  # self-capping, like mem://
+        for i in range(5):
+            store.put(tiny_scenario(f"cap-{i}"), payload(str(i)))
+            time.sleep(0.02)
+            assert store.n_entries <= 2
+        assert store.backend.tiers[0].counters.evictions == 3
+
+    def test_promotion_into_a_capped_tier_enforces_its_caps(self, tmp_path):
+        producer = ResultStore(tmp_path / "lower")
+        scenarios = [tiny_scenario(f"promo-{i}") for i in range(4)]
+        for scenario in scenarios:
+            producer.put(scenario, payload())
+        capped = LocalFSBackend(tmp_path / "upper", max_entries=2)
+        store = ResultStore(
+            backend=TieredStore(
+                [capped, LocalFSBackend(tmp_path / "lower")]
+            )
+        )
+        for scenario in scenarios:
+            assert store.get(scenario) is not None  # promote
+            time.sleep(0.02)
+        assert len(list(capped.entries())) <= 2
+
+    def test_hot_mem_hit_never_touches_file_tier_mtimes(self, tmp_path):
+        import os
+
+        scenario = tiny_scenario("no-utime")
+        producer = ResultStore(tmp_path / "fs")
+        producer.put(scenario, payload())
+        store = ResultStore(f"mem://,file://{tmp_path / 'fs'}")
+        assert store.get(scenario) is not None  # file hit + promotion
+        path = producer.path_for(scenario)
+        os.utime(path, (1_000_000, 1_000_000))
+        for _ in range(3):
+            assert store.get(scenario) is not None  # mem hits
+        # Zero filesystem side effects once hot: no reads, no utimes.
+        assert path.stat().st_mtime == 1_000_000
+
+    def test_write_all_url_param_selects_write_through(self, tmp_path):
+        store = ResultStore(f"mem://,file://{tmp_path}/fs?write=all")
+        assert store.backend.write_policy == "all"
+        scenario = tiny_scenario("durable-url")
+        store.put(scenario, payload())
+        digest = store.digest(scenario)
+        assert all(t.contains(digest) for t in store.backend.tiers)
+        with pytest.raises(ConfigError, match="write policy"):
+            backend_from_url(f"mem://,file://{tmp_path}/fs?write=sometimes")
+        with pytest.raises(ConfigError, match="conflicting write policies"):
+            backend_from_url(
+                f"mem://?write=first,file://{tmp_path}/fs?write=all"
+            )
+
+    def test_failed_promotion_never_breaks_a_good_read(self, tmp_path):
+        """A hot tier that cannot accept writes (broken disk) must not turn
+        a successful lower-tier hit into a miss."""
+        scenario = tiny_scenario("unpromotable")
+        producer = ResultStore(tmp_path / "good")
+        producer.put(scenario, payload("still-served"))
+        broken_root = tmp_path / "broken"
+        broken_root.write_text("a file where the hot tier wants a dir")
+        store = ResultStore(
+            backend=TieredStore(
+                [
+                    LocalFSBackend(broken_root),
+                    LocalFSBackend(tmp_path / "good"),
+                ]
+            )
+        )
+        hit = store.get(scenario)
+        assert hit is not None and hit.text == "still-served"
+        assert store.backend.counters.promotions == 0
+
+    def test_oversized_entry_falls_through_to_a_roomier_tier(
+        self, tmp_path
+    ):
+        """A mem tier refusing admission must not make the put land
+        nowhere: the write falls through to the file tier, and refused
+        promotions are never counted as promotions."""
+        tiny_mem = InMemoryBackend(max_bytes=64)
+        fs = LocalFSBackend(tmp_path / "fs")
+        store = ResultStore(backend=TieredStore([tiny_mem, fs]))
+        scenario = tiny_scenario("oversized")
+        store.put(scenario, payload("x" * 4096))  # far over the mem budget
+        digest = store.digest(scenario)
+        assert not tiny_mem.contains(digest)
+        assert fs.contains(digest)  # landed somewhere durable
+        for _ in range(3):
+            hit = store.get(scenario)  # file hit; promotion refused
+            assert hit is not None and hit.text == "x" * 4096
+        assert store.backend.counters.promotions == 0
+        assert fs.counters.hits == 3  # honestly never hot
+
+    def test_stats_totals_dedupe_promoted_digests(self, tmp_path):
+        """A digest promoted into the hot tier is one entry, not two: the
+        top-level stats stay in agreement with disk_usage()/`cache stats`
+        while the per-tier blocks still show both copies."""
+        scenario = tiny_scenario("promoted")
+        producer = ResultStore(tmp_path / "fs")
+        producer.put(scenario, payload())
+        store = ResultStore(f"mem://,file://{tmp_path / 'fs'}")
+        assert store.get(scenario) is not None  # promote into mem
+        stats = store.backend.stats()
+        assert stats["tiers"][0]["n_entries"] == 1  # the promoted copy
+        assert stats["tiers"][1]["n_entries"] == 1  # the durable copy
+        assert stats["n_entries"] == 1
+        n_entries, total_bytes = store.disk_usage()
+        assert (stats["n_entries"], stats["total_bytes"]) == (
+            n_entries,
+            total_bytes,
+        )
+
+    def test_gc_and_clear_count_promoted_digests_once(self, tmp_path):
+        """Evicting/clearing a digest whose copies live in several tiers
+        is one logical removal, matching entries()/stats() dedup."""
+        scenario = tiny_scenario("gc-dedup")
+        ResultStore(tmp_path / "fs").put(scenario, payload())
+        store = ResultStore(
+            backend=TieredStore(
+                [InMemoryBackend(), LocalFSBackend(tmp_path / "fs")]
+            )
+        )
+        assert store.get(scenario) is not None  # promote: copy in both
+        evicted = store.gc(max_entries=0)
+        assert evicted == [store.digest(scenario)]  # once, not per tier
+        assert store.stats.evictions == 1
+
+        ResultStore(tmp_path / "fs").put(scenario, payload())
+        assert store.get(scenario) is not None
+        assert store.clear() == 1
+
+    def test_delete_and_gc_reach_only_writable_tiers(self, tmp_path):
+        producer = ResultStore(tmp_path / "mirror")
+        scenario = tiny_scenario("shared")
+        producer.put(scenario, payload())
+        store = ResultStore(f"mem://,ro://{tmp_path / 'mirror'}")
+        assert store.get(scenario) is not None  # promote into mem
+        assert store.invalidate(scenario)  # drops the mem copy only
+        assert len(list((tmp_path / "mirror").glob("*.json"))) == 1
+        assert store.get(scenario) is not None  # mirror still serves
+
+
+class TestUrlAddressing:
+    def test_is_store_url(self):
+        assert is_store_url("mem://")
+        assert is_store_url("file:///x")
+        assert not is_store_url("/plain/path")
+        assert not is_store_url("relative/path")
+
+    def test_mem_url(self):
+        backend = backend_from_url("mem://")
+        assert isinstance(backend, InMemoryBackend)
+        capped = backend_from_url("mem://?max_bytes=1000&max_entries=5")
+        assert capped.max_bytes == 1000 and capped.max_entries == 5
+
+    def test_file_url_with_params(self, tmp_path):
+        backend = backend_from_url(
+            f"file://{tmp_path}/cache?shard=1&max_entries=16"
+        )
+        assert isinstance(backend, LocalFSBackend)
+        assert backend.root == tmp_path / "cache"
+        assert backend.shard is True
+        assert backend.max_entries == 16
+
+    def test_ro_url(self, tmp_path):
+        backend = backend_from_url(f"ro://{tmp_path}")
+        assert isinstance(backend, ReadOnlyMirrorBackend)
+        assert backend.writable is False
+
+    def test_tier_list(self, tmp_path):
+        backend = backend_from_url(
+            f"mem://,file://{tmp_path}/cache,ro://{tmp_path}/mirror"
+        )
+        assert isinstance(backend, TieredStore)
+        kinds = [type(tier).__name__ for tier in backend.tiers]
+        assert kinds == [
+            "InMemoryBackend",
+            "LocalFSBackend",
+            "ReadOnlyMirrorBackend",
+        ]
+
+    def test_bare_paths_stay_plain_cache_dirs(self, tmp_path):
+        store = ResultStore(str(tmp_path / "plain"))
+        assert isinstance(store.backend, LocalFSBackend)
+        assert store.cache_dir == tmp_path / "plain"
+
+    def test_url_plus_keyword_knobs_conflict_loudly(self, tmp_path):
+        """Keyword knobs configure the default backend only — next to a
+        URL (or an explicit backend) they must never be silently dropped."""
+        with pytest.raises(ConfigError, match="put them in the URL"):
+            ResultStore(f"file://{tmp_path}", max_bytes=1_000)
+        with pytest.raises(ConfigError, match="constructor"):
+            ResultStore(backend=InMemoryBackend(), shard=True)
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            ResultStore(tmp_path / "dir", backend=InMemoryBackend())
+        # The knobs keep working for the default cache-dir backend.
+        store = ResultStore(tmp_path / "d", max_entries=4, shard=True)
+        assert store.max_entries == 4 and store.shard
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("s3://bucket/cache", "unknown store-URL scheme"),
+            ("mem://?max_bytes=lots", "not an integer"),
+            ("mem://?max_bytes=-1", "must be >= 0"),
+            ("file:///x?compress=1", "unknown store-URL parameter"),
+            ("file://", "names no directory"),
+            ("mem://,", "empty tier"),
+            ("file:///x?shard=maybe", "not a boolean"),
+            ("file:///data/runs,v2", "has no scheme"),
+            ("mem://,plain/path", "has no scheme"),
+        ],
+    )
+    def test_malformed_urls_raise_config_error(self, bad, match):
+        with pytest.raises(ConfigError, match=match):
+            backend_from_url(bad)
+
+    def test_percent_encoded_comma_addresses_one_path(self, tmp_path):
+        """%2C is the escape for a literal comma in a tier-listed path."""
+        root = tmp_path / "runs,v2"
+        backend = backend_from_url(f"mem://,file://{tmp_path}/runs%2Cv2")
+        assert isinstance(backend, TieredStore)
+        assert backend.tiers[1].root == root
+
+    def test_result_store_and_consumers_accept_urls(self, tmp_path):
+        store = ResultStore(f"mem://,file://{tmp_path}/c")
+        assert isinstance(store.backend, TieredStore)
+        assert store.url.startswith("mem://,file://")
+        # run_cached accepts the URL form directly.
+        scenario = (
+            Scenario.builder("url-run", "tiny real run")
+            .training("GPT3-76.1B", batch=32)
+            .parallel(tensor_parallel=8, pipeline_parallel=8)
+            .on(SystemConfig(kind="scd_blade"))
+            .extracting("time_per_batch")
+            .build()
+        )
+        cold = run_cached(scenario, f"file://{tmp_path}/c2")
+        warm = run_cached(scenario, f"file://{tmp_path}/c2")
+        assert not cold.from_cache and warm.from_cache
+        assert warm.raw_json() == cold.raw_json()

@@ -155,9 +155,38 @@ class TestCacheCommands:
         assert main(["cache", "stats"]) == 0
         assert "entries        0" in capsys.readouterr().out
 
-    def test_stats_on_missing_dir(self, capsys, tmp_path):
-        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
+    def test_stats_on_missing_dir_is_a_structured_error(
+        self, capsys, tmp_path
+    ):
+        """A missing cache dir exits non-zero with a structured message —
+        never a silent zero count, never a traceback."""
+        missing = tmp_path / "nope"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error: cache-dir-missing" in captured.err
+        assert str(missing) in captured.err
+
+    def test_stats_on_never_created_default_dir_is_an_empty_store(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Fresh install, nothing cached: the *default* location simply
+        does not exist yet — that is an empty store, not a wrong mount."""
+        from repro.scenarios.store import CACHE_DIR_ENV
+
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path / "fresh-home"))
+        assert main(["cache", "stats"]) == 0
         assert "entries        0" in capsys.readouterr().out
+
+    def test_stats_on_unreadable_dir_is_a_structured_error(
+        self, capsys, tmp_path
+    ):
+        """A cache 'dir' that is a file exits non-zero, structured."""
+        bogus = tmp_path / "actually-a-file"
+        bogus.write_text("not a directory")
+        assert main(["cache", "stats", "--cache-dir", str(bogus)]) == 2
+        assert "error: cache-dir-unreadable" in capsys.readouterr().err
 
     def test_stats_age_dates_entries(self, capsys, isolated_cache_dir):
         assert main(["run", "fig3c-blade-spec"]) == 0
@@ -186,6 +215,86 @@ class TestCacheCommands:
         out = capsys.readouterr().out
         assert "pre-prov" in out
         assert "entries        1" in out  # valid, not corrupt
+
+
+class TestCacheUrlFlag:
+    """`--cache URL` backend addressing, superseding `--cache-dir`."""
+
+    def test_tiered_cache_url_serves_from_the_file_tier(
+        self, capsys, tmp_path
+    ):
+        cache_dir = tmp_path / "c"
+        assert main(
+            ["run", "fig3c-blade-spec", "--cache-dir", str(cache_dir)]
+        ) == 0
+        first = capsys.readouterr()
+        assert main(
+            ["run", "fig3c-blade-spec", "--cache", f"mem://,file://{cache_dir}"]
+        ) == 0
+        second = capsys.readouterr()
+        assert "served from result store" in second.err
+        assert second.out == first.out
+
+    def test_cache_with_cache_dir_is_a_loud_conflict(self, capsys, tmp_path):
+        """Two different statements about where the store lives must never
+        silently drop one of them."""
+        assert main(
+            [
+                "run",
+                "fig3c-blade-spec",
+                "--cache",
+                f"file://{tmp_path / 'a'}",
+                "--cache-dir",
+                str(tmp_path / "b"),
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert not (tmp_path / "a").exists()
+        assert not (tmp_path / "b").exists()
+
+    def test_ro_mirror_reads_but_never_writes(self, capsys, tmp_path):
+        mirror = tmp_path / "mirror"
+        assert main(["run", "fig3c-blade-spec", "--cache-dir", str(mirror)]) == 0
+        capsys.readouterr()
+        before = sorted(p.name for p in mirror.glob("*.json"))
+
+        # A warm scenario is served straight from the mirror...
+        assert main(["run", "fig3c-blade-spec", "--cache", f"ro://{mirror}"]) == 0
+        assert "served from result store" in capsys.readouterr().err
+        # ... and a cold one computes without writing anything back.
+        assert main(["run", "table1", "--cache", f"ro://{mirror}"]) == 0
+        assert "served from result store" not in capsys.readouterr().err
+        assert sorted(p.name for p in mirror.glob("*.json")) == before
+
+    def test_bad_cache_url_exits_2(self, capsys):
+        assert main(["run", "fig3c-blade-spec", "--cache", "s3://x"]) == 2
+        assert "unknown store-URL scheme" in capsys.readouterr().err
+
+    def test_cache_stats_reports_tiers_and_age_summary(
+        self, capsys, tmp_path
+    ):
+        cache_dir = tmp_path / "c"
+        assert main(["run", "fig3c-blade-spec", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--cache", f"mem://,file://{cache_dir}"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"backend        mem://,file://{cache_dir}" in out
+        assert "tier         mem://" in out
+        assert f"tier         file://{cache_dir}" in out
+        assert "oldest created" in out
+        assert "median created" in out
+        assert "pre-provenance 0" in out
+
+    def test_serve_accepts_cache_url_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--cache", "mem://,file:///tmp/x"]
+        )
+        assert args.cache == "mem://,file:///tmp/x"
 
 
 class TestCacheGc:

@@ -57,8 +57,15 @@ def check_hit(index: int, hit) -> None:
     assert hit.text.endswith(str(hit.raw["writer"]))
 
 
-def hammer(store: ResultStore, seed: int, n_ops: int) -> dict:
-    """One worker's randomized op mix; returns its observed op counts."""
+def hammer(
+    store: ResultStore, seed: int, n_ops: int, sabotage_path=None
+) -> dict:
+    """One worker's randomized op mix; returns its observed op counts.
+
+    ``sabotage_path`` maps a digest to the file to clobber (defaults to the
+    store's own entry path; a tiered store passes its file tier's)."""
+    if sabotage_path is None:
+        sabotage_path = store._path_for_digest
     rng = random.Random(seed)
     scenarios = [stress_scenario(i) for i in range(N_SCENARIOS)]
     counts = {"puts": 0, "gets": 0, "invalidated": 0, "gc_runs": 0}
@@ -83,7 +90,7 @@ def hammer(store: ResultStore, seed: int, n_ops: int) -> dict:
         else:
             # Sabotage: clobber the entry mid-race; the *next* reader must
             # self-heal (miss + drop), never crash or serve garbage.
-            path = store._path_for_digest(store.digest(scenario))
+            path = sabotage_path(store.digest(scenario))
             try:
                 path.write_text(rng.choice(["{ torn", "", '{"format":"no"}']))
             except OSError:
@@ -173,6 +180,84 @@ class TestThreadStress:
         assert store.n_entries <= 3
         assert store.stats.evictions > 0
         assert_store_consistent(tmp_path / "gc-race")
+
+
+class TestTieredThreadStress:
+    """The PR-5 tier stack under the same fire: promotion must stay
+    correct while writers, evictors and saboteurs race it."""
+
+    @staticmethod
+    def _tiered_store(tmp_path):
+        from repro.scenarios.backends import (
+            InMemoryBackend,
+            LocalFSBackend,
+            TieredStore,
+        )
+
+        fs = LocalFSBackend(tmp_path / "tiered-fs")
+        mem = InMemoryBackend()
+        store = ResultStore(backend=TieredStore([mem, fs]))
+        return store, mem, fs
+
+    def test_tiered_store_under_thread_fire(self, tmp_path):
+        store, mem, fs = self._tiered_store(tmp_path)
+        n_workers, n_ops = 8, 60
+        with ThreadPoolExecutor(n_workers) as pool:
+            results = list(
+                pool.map(
+                    lambda seed: hammer(
+                        store, seed, n_ops,
+                        sabotage_path=fs.path_for_digest,
+                    ),
+                    range(n_workers),
+                )
+            )
+        assert store.stats.puts == sum(r["puts"] for r in results)
+        assert store.stats.lookups == sum(r["gets"] for r in results)
+        assert store.stats.hits + store.stats.misses == store.stats.lookups
+        # Per-tier accounting stayed coherent under fire.
+        for tier in (mem, fs):
+            counters = tier.counters
+            assert counters.reads == counters.hits + counters.misses
+        # Whatever survived on disk is valid or self-heals.
+        assert_store_consistent(tmp_path / "tiered-fs")
+
+    def test_promotion_under_contention(self, tmp_path):
+        """Many threads racing cold tiered reads of the same warm file
+        entries: every hit is a complete payload, every digest ends up
+        promoted into the mem tier, and subsequent reads leave the file
+        tier untouched."""
+        store, mem, fs = self._tiered_store(tmp_path)
+        producer = ResultStore(tmp_path / "tiered-fs")
+        for index in range(N_SCENARIOS):
+            producer.put(stress_scenario(index), payload_for(index, 7))
+
+        def reader(seed: int) -> int:
+            rng = random.Random(seed)
+            served = 0
+            for _ in range(40):
+                index = rng.randrange(N_SCENARIOS)
+                hit = store.get(stress_scenario(index))
+                assert hit is not None  # warm below, so never a miss
+                check_hit(index, hit)
+                served += 1
+            return served
+
+        n_workers = 8
+        with ThreadPoolExecutor(n_workers) as pool:
+            served = list(pool.map(reader, range(n_workers)))
+        assert sum(served) == n_workers * 40
+        assert store.stats.hits == sum(served)
+        # Every digest got promoted; racing promoters may double-write
+        # (harmless), but the hot tier must now hold all of them...
+        for index in range(N_SCENARIOS):
+            assert mem.contains(store.digest(stress_scenario(index)))
+        assert store.backend.counters.promotions >= N_SCENARIOS
+        # ... and once hot, repeated reads perform zero file reads.
+        file_reads = fs.counters.reads
+        for index in range(N_SCENARIOS):
+            assert store.get(stress_scenario(index)) is not None
+        assert fs.counters.reads == file_reads
 
 
 class TestProcessStress:

@@ -184,6 +184,8 @@ class TestRoutesAndMethods:
             ("POST", "/stats"),
             ("POST", "/scenarios"),
             ("POST", "/results/" + "0" * 64),
+            ("POST", "/results/" + "0" * 64 + "/csv"),
+            ("PUT", "/results/" + "0" * 64 + "/text"),
             ("GET", "/run"),
             ("DELETE", "/run"),
             ("PUT", "/scenarios/fig5"),
@@ -206,6 +208,41 @@ class TestRoutesAndMethods:
                 assert_structured_4xx(response, 404)
             else:
                 assert_structured_4xx(response, 400)
+
+    def test_artifact_routes_uphold_the_no_500_contract(self, app):
+        """The content-negotiation routes inherit the fuzz contract: every
+        hostile digest/stage combination is a structured 4xx."""
+        rng = random.Random(0xC52F)
+        stages = ("csv", "text", "json", "pdf", "", "CSV", "..", "c%73v")
+        for _ in range(N_CASES):
+            digest = "".join(
+                rng.choice(string.hexdigits + "xyz!")
+                for _ in range(rng.choice((8, 63, 64, 65)))
+            )
+            stage = rng.choice(stages)
+            response = app.handle("GET", f"/results/{digest}/{stage}")
+            assert_structured_4xx(response)
+            lowered = digest.lower()
+            well_formed = len(lowered) == 64 and all(
+                c in "0123456789abcdef" for c in lowered
+            )
+            if stage == "":
+                # Collapses to the 2-part /results/<digest> route.
+                assert response.body["error"] in (
+                    "bad-digest",
+                    "unknown-digest",
+                )
+            elif stage not in ("csv", "text"):
+                assert response.status == 404
+                assert response.body["error"] == "unknown-artifact"
+            elif well_formed:
+                assert response.body["error"] == "unknown-digest"
+            else:
+                assert response.body["error"] == "bad-digest"
+
+    def test_deep_results_paths_are_404(self, app):
+        response = app.handle("GET", "/results/" + "0" * 64 + "/text/extra")
+        assert_structured_4xx(response, 404)
 
     def test_query_strings_are_ignored(self, app):
         assert app.handle("GET", "/healthz?probe=1").status == 200

@@ -67,6 +67,30 @@ def test_workers_arm_a_thread_safe_fanout_start_method(
     assert sweep.FANOUT_START_METHOD == "spawn"
 
 
+def test_create_server_rejects_cache_url_plus_store_knobs(tmp_path):
+    """Explicit store knobs are never silently discarded next to --cache."""
+    import pytest
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="mutually exclusive"):
+        create_server(
+            port=0, cache="mem://", max_cache_bytes=1_000_000
+        )
+    with pytest.raises(ConfigError, match="mutually exclusive"):
+        create_server(port=0, cache="mem://", cache_dir=tmp_path)
+    # Explicit zero caps are real knobs too — truthiness must not let
+    # them slip through as "unset".
+    with pytest.raises(ConfigError, match="mutually exclusive"):
+        create_server(port=0, cache="mem://", max_cache_entries=0)
+    # A ready-built store and a cache URL are two different answers to
+    # the same question.
+    with pytest.raises(ConfigError, match="mutually exclusive"):
+        create_server(
+            port=0, store=ResultStore(tmp_path / "s"), cache="mem://"
+        )
+
+
 def test_serve_cli_flags_parse():
     args = build_parser().parse_args(
         [

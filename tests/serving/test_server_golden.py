@@ -223,6 +223,80 @@ class TestBatchRun:
         assert all(e["from_cache"] for e in reply.json()["entries"])
 
 
+class TestContentNegotiation:
+    """The ``/results/<digest>/csv|text`` artifact routes: correct media
+    types, bytes identical to the CLI-written artifact files, same
+    ETag/304 contract as the JSON route."""
+
+    def test_text_artifact_matches_cli_bytes(self, live_server, tmp_path):
+        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        digest = run.json()["digest"]
+        out_dir = tmp_path / "cli"
+        assert main(["run", CHEAP_TABLE, "--out", str(out_dir)]) == 0
+
+        reply = live_server.request("GET", f"/results/{digest}/text")
+        assert reply.status == 200
+        assert reply.headers["Content-Type"] == "text/plain; charset=utf-8"
+        assert reply.etag == f'"{digest}"'
+        assert reply.body == (out_dir / f"{CHEAP_TABLE}.txt").read_bytes()
+
+    def test_csv_artifact_matches_cli_bytes(self, live_server, tmp_path):
+        run = live_server.post_json("/run", {"scenario": "fig6"})
+        digest = run.json()["digest"]
+        out_dir = tmp_path / "cli"
+        assert main(["run", "fig6", "--out", str(out_dir)]) == 0
+
+        reply = live_server.request("GET", f"/results/{digest}/csv")
+        assert reply.status == 200
+        assert reply.headers["Content-Type"] == "text/csv; charset=utf-8"
+        assert reply.etag == f'"{digest}"'
+        assert reply.body == (out_dir / "fig6.csv").read_bytes()
+
+    def test_table_scenario_has_no_csv_representation(self, live_server):
+        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        digest = run.json()["digest"]
+        reply = live_server.request("GET", f"/results/{digest}/csv")
+        assert reply.status == 404
+        assert reply.json()["error"] == "no-csv-artifact"
+
+    def test_etag_revalidation_on_artifact_routes(self, live_server):
+        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        digest = run.json()["digest"]
+        reply = live_server.request(
+            "GET",
+            f"/results/{digest}/text",
+            headers={"If-None-Match": f'"{digest}"'},
+        )
+        assert reply.status == 304
+        assert reply.body == b""
+        assert reply.etag == f'"{digest}"'
+        # A representation that does not exist must never 304: this table
+        # scenario has no CSV, so a conditional GET for it is still the
+        # 404 the unconditional GET would be.
+        reply = live_server.request(
+            "GET",
+            f"/results/{digest}/csv",
+            headers={"If-None-Match": f'"{digest}"'},
+        )
+        assert reply.status == 404
+        assert reply.json()["error"] == "no-csv-artifact"
+
+    def test_unknown_stage_and_digest_are_structured_errors(
+        self, live_server
+    ):
+        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        digest = run.json()["digest"]
+        reply = live_server.request("GET", f"/results/{digest}/pdf")
+        assert reply.status == 404
+        assert reply.json()["error"] == "unknown-artifact"
+        reply = live_server.request("GET", "/results/" + "0" * 64 + "/text")
+        assert reply.status == 404
+        assert reply.json()["error"] == "unknown-digest"
+        reply = live_server.request("GET", "/results/nothex/text")
+        assert reply.status == 400
+        assert reply.json()["error"] == "bad-digest"
+
+
 class TestHttpEdgeCases:
     def test_chunked_upload_is_411_and_closes(self, live_server):
         import http.client
@@ -288,3 +362,81 @@ class TestHttpEdgeCases:
             response.read()
         finally:
             conn.close()
+
+
+class TestTieredDaemon:
+    """The mem-over-file daemon: warm artifacts byte-identical to the
+    flat-store answer, hot digests served with zero file reads after first
+    promotion (the acceptance criterion, asserted via per-tier stats)."""
+
+    def test_hot_digest_never_touches_the_file_tier(self, tmp_path):
+        import http.client
+        import threading
+
+        from repro.scenarios.store import ResultStore
+        from repro.serving import create_server
+
+        # The durable tier is warmed by a plain CLI run.
+        cache_dir = tmp_path / "cache"
+        assert main(["run", CHEAP_TABLE, "--cache-dir", str(cache_dir)]) == 0
+        flat = ResultStore(cache_dir).get(get(CHEAP_TABLE))
+        assert flat is not None
+
+        store = ResultStore(f"mem://,file://{cache_dir}")
+        mem_tier, file_tier = store.backend.tiers
+        server = create_server(port=0, store=store)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+
+            def post_run():
+                conn.request(
+                    "POST", "/run", json.dumps({"scenario": CHEAP_TABLE})
+                )
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+
+            # First request: file-tier hit, promoted into mem.
+            status, body = post_run()
+            assert status == 200 and body["from_cache"] is True
+            assert body["artifacts"]["text"] == flat.text
+            assert file_tier.counters.hits == 1
+            assert mem_tier.contains(body["digest"])
+
+            # Hot requests: zero file reads, byte-identical artifacts.
+            file_reads = file_tier.counters.reads
+            for _ in range(5):
+                status, hot = post_run()
+                assert status == 200 and hot["from_cache"] is True
+                assert hot["artifacts"] == body["artifacts"]
+            assert file_tier.counters.reads == file_reads
+            assert mem_tier.counters.hits >= 5
+
+            # /stats exposes the per-tier breakdown that pinned this.
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            tiers = stats["store"]["backend"]["tiers"]
+            assert [t["kind"] for t in tiers] == ["mem", "file"]
+            assert tiers[0]["counters"]["hits"] >= 5
+            assert tiers[1]["counters"]["reads"] == file_reads
+            assert stats["store"]["backend"]["counters"]["promotions"] == 1
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_stats_report_median_created_age(self, live_server):
+        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run", {"scenario": "table1"})
+        block = live_server.request("GET", "/stats").json()["store"][
+            "provenance"
+        ]
+        assert block["median_created_unix"] is not None
+        assert (
+            block["oldest_created_unix"]
+            <= block["median_created_unix"]
+            <= block["newest_created_unix"]
+        )
