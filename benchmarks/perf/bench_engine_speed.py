@@ -20,9 +20,13 @@ live ``ThreadingHTTPServer``, asserted compute-free) and *hot* through a
 mem-over-file tiered store (``serve_http_hot_seconds`` — the daemon's
 production stack: after first promotion every request is answered from the
 in-process LRU tier, asserted to perform zero file reads via per-tier
-stats), and gates all four numbers against the committed
-``BENCH_baseline.json``: a >2× regression of any fails the default pytest
-run.  Collected in the default pytest run via ``benchmarks/conftest.py``.
+stats), plus the async job engine end to end
+(``serve_http_cold_concurrent_seconds`` — N distinct cold specs POSTed
+concurrently, each answered ``202`` and polled through ``/jobs/<digest>``
+to its ``303`` redirect, asserted to compute each digest exactly once),
+and gates all five numbers against the committed ``BENCH_baseline.json``:
+a >2× regression of any fails the default pytest run.  Collected in the
+default pytest run via ``benchmarks/conftest.py``.
 """
 
 from __future__ import annotations
@@ -68,6 +72,14 @@ SERVE_SCENARIOS = (
     "fig7-batch",
     "fig7-gpu",
 )
+
+#: Distinct cold digests for the async-serving measurement: enough to
+#: exercise queueing behind the worker pool without turning a perf probe
+#: into a load test.
+N_COLD_JOBS = 6
+
+#: Job-engine worker threads for the async-serving measurement.
+COLD_JOB_WORKERS = 4
 
 
 def _seed_optimus(system) -> Optimus:
@@ -162,6 +174,7 @@ def test_engine_speed_vs_seed_flat_timing():
     speedup = flat_seconds / engine_seconds
 
     serve = _measure_warm_serving()
+    cold_async = _measure_cold_async_serving()
 
     result = {
         "benchmark": "fig5 + fig7 reference sweep",
@@ -176,6 +189,10 @@ def test_engine_speed_vs_seed_flat_timing():
         "serve_warm_seconds": serve["warm_seconds"],
         "serve_http_warm_seconds": serve["http_warm_seconds"],
         "serve_http_hot_seconds": serve["http_hot_seconds"],
+        "serve_http_cold_concurrent_seconds": cold_async[
+            "http_cold_concurrent_seconds"
+        ],
+        "serve_cold_jobs": N_COLD_JOBS,
         "note": (
             "flat_seed_seconds reproduces the pre-engine seed path "
             "(per-replica op walk, no memoization) in the same process; "
@@ -183,7 +200,11 @@ def test_engine_speed_vs_seed_flat_timing():
             "store (pure file reads); serve_http_warm_seconds serves the "
             "same warm set over real sockets through the HTTP daemon; "
             "serve_http_hot_seconds serves it through a mem-over-file "
-            "tiered store with zero file reads after promotion"
+            "tiered store with zero file reads after promotion; "
+            "serve_http_cold_concurrent_seconds submits N distinct cold "
+            "specs concurrently (202 each), polls /jobs/<digest> to the "
+            "303 redirect and reads every result — the async job engine "
+            "end to end over real sockets"
         ),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=1) + "\n")
@@ -196,7 +217,10 @@ def test_engine_speed_vs_seed_flat_timing():
         f"{serve['warm_seconds'] * 1e3:.1f} ms for "
         f"{len(SERVE_SCENARIOS)} scenarios "
         f"({serve['http_warm_seconds'] * 1e3:.1f} ms over HTTP, "
-        f"{serve['http_hot_seconds'] * 1e3:.1f} ms hot via mem tier)"
+        f"{serve['http_hot_seconds'] * 1e3:.1f} ms hot via mem tier); "
+        f"{N_COLD_JOBS} concurrent cold jobs in "
+        f"{cold_async['http_cold_concurrent_seconds'] * 1e3:.1f} ms "
+        "async end to end"
     )
 
     assert max_rel_err < 1e-9, errors
@@ -315,6 +339,101 @@ def _measure_warm_serving() -> dict:
     }
 
 
+def _measure_cold_async_serving() -> dict:
+    """Time the async job engine end to end over real sockets.
+
+    ``N_COLD_JOBS`` distinct cold specs (the cheap blade-spec table,
+    renamed per job so every digest is unique) are POSTed concurrently:
+    each must be answered ``202`` immediately, then its thread polls
+    ``GET /jobs/<digest>`` until the ``303`` redirect and reads the
+    stored result.  The measured wall time covers submission → queueing
+    behind the worker pool → compute → status poll → result read, for
+    the whole concurrent batch.
+    """
+    import http.client
+    import tempfile
+    import threading
+
+    from repro.scenarios import get
+    from repro.scenarios.store import ResultStore
+    from repro.serving import create_server
+
+    base = get("fig3c-blade-spec").to_dict()
+    specs = [dict(base, name=f"bench-cold-{i}") for i in range(N_COLD_JOBS)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-jobs-") as tmp:
+        store = ResultStore(tmp)
+        server = create_server(
+            port=0, store=store, job_workers=COLD_JOB_WORKERS
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            failures: list[str] = []
+
+            def submit_and_poll(spec: dict) -> None:
+                connection = http.client.HTTPConnection(
+                    host, port, timeout=60
+                )
+                try:
+                    connection.request(
+                        "POST", "/run", json.dumps({"scenario": spec})
+                    )
+                    response = connection.getresponse()
+                    body = json.loads(response.read())
+                    if response.status != 202:
+                        failures.append(f"{spec['name']}: {body}")
+                        return
+                    digest = body["digest"]
+                    while True:
+                        connection.request("GET", f"/jobs/{digest}")
+                        status = connection.getresponse()
+                        payload = json.loads(status.read())
+                        if status.status == 303:
+                            break
+                        if status.status != 200 or payload["status"] not in (
+                            "queued",
+                            "running",
+                        ):
+                            failures.append(f"{spec['name']}: {payload}")
+                            return
+                        time.sleep(0.002)
+                    connection.request("GET", f"/results/{digest}")
+                    result = connection.getresponse()
+                    result.read()
+                    if result.status != 200:
+                        failures.append(f"{spec['name']}: result missing")
+                finally:
+                    connection.close()
+
+            threads = [
+                threading.Thread(target=submit_and_poll, args=(spec,))
+                for spec in specs
+            ]
+            t0 = time.perf_counter()
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=120)
+            cold_concurrent_seconds = time.perf_counter() - t0
+
+            assert not failures, failures
+            jobs = server.app.jobs.stats()
+            assert jobs["done"] == N_COLD_JOBS and jobs["failed"] == 0, jobs
+            assert store.stats.puts == N_COLD_JOBS, (
+                "coalescing/caching broke: each unique digest must be "
+                f"computed exactly once, got {store.stats.puts} puts"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+    return {
+        "http_cold_concurrent_seconds": round(cold_concurrent_seconds, 6)
+    }
+
+
 def _gate_against_baseline(result: dict) -> None:
     """The tier-1 perf gate: fail on a >2× regression vs the committed
     baseline (``benchmarks/perf/BENCH_baseline.json``).
@@ -340,6 +459,7 @@ def _gate_against_baseline(result: dict) -> None:
         "serve_warm_seconds",
         "serve_http_warm_seconds",
         "serve_http_hot_seconds",
+        "serve_http_cold_concurrent_seconds",
     ):
         measured = result[metric]
         allowed = baseline[metric] * GATE_FACTOR * host_factor

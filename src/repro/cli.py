@@ -291,6 +291,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_cache_bytes=args.max_cache_bytes,
         max_cache_entries=args.max_cache_entries,
         shard=args.shard,
+        job_workers=args.job_workers,
+        max_queue=args.max_queue,
         quiet=args.quiet,
     )
     return serve_forever(server)
@@ -381,6 +383,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fan cold computes out over N worker processes",
+    )
+    p_serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads draining the cold-compute job queue "
+        "(default 2)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queued-job bound; beyond it cold POST /run answers 429 "
+        "with Retry-After (default 64)",
     )
     p_serve.add_argument(
         "--max-cache-bytes",

@@ -26,11 +26,23 @@ from repro.serving.app import (
     etag_for,
     if_none_match_matches,
 )
+from repro.serving.jobs import (
+    DEFAULT_JOB_WORKERS,
+    DEFAULT_MAX_QUEUE,
+    Job,
+    JobManager,
+    QueueFullError,
+)
 from repro.serving.server import ReproHTTPServer, create_server, serve_forever
 
 __all__ = [
+    "DEFAULT_JOB_WORKERS",
+    "DEFAULT_MAX_QUEUE",
+    "Job",
+    "JobManager",
     "MAX_BATCH_ITEMS",
     "MAX_BODY_BYTES",
+    "QueueFullError",
     "Response",
     "ServeStats",
     "ServingApp",

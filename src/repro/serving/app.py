@@ -10,14 +10,22 @@ thin :mod:`repro.serving.server` layer adapts it onto
 Routes (responses are JSON unless noted)::
 
     GET  /healthz                 liveness + schema version
-    GET  /stats                   server counters + store/backend stats
-                                  (per-tier breakdowns) + provenance ages
+    GET  /stats                   server counters + job-engine gauges +
+                                  store/backend stats (per-tier
+                                  breakdowns) + provenance ages
     GET  /scenarios               the registry (name, kind, description,
                                   digest)
     GET  /scenarios/<name>        one spec (the ``to_dict`` form) + digest
     POST /run                     run one scenario ({"scenario":
                                   name-or-spec}) or a batch
-                                  ({"scenarios": [...]})
+                                  ({"scenarios": [...]}); cold digests are
+                                  enqueued as jobs and answered 202 unless
+                                  ``?wait=1`` / ``Prefer: wait`` asks for
+                                  the synchronous compute
+    GET  /jobs                    in-flight + recent terminal jobs
+    GET  /jobs/<digest>           one job: queued|running|done|failed with
+                                  queue position, timings, provenance
+                                  (done ⇒ 303 to /results/<digest>)
     GET  /results/<digest>        one stored entry by bare content address
     GET  /results/<digest>/csv    the cached CSV artifact (``text/csv``)
     GET  /results/<digest>/text   the rendered figure/table
@@ -30,15 +38,30 @@ carrying a matching ``If-None-Match`` is answered ``304`` before the
 store is even consulted, a warm digest is served straight from the
 :class:`ResultStore` backend (with a ``mem://`` tier stacked over the
 cache dir, hot digests never touch the filesystem at all), and only
-genuine misses enter the compute path (serialized under one lock so
-concurrent cold requests share, not duplicate, the process-wide
-mapping/timing caches).
+genuine misses enter the compute path.
+
+Cold computes are *jobs*: a miss is enqueued on the app's
+:class:`~repro.serving.jobs.JobManager` (bounded queue, small worker
+pool, duplicate digests coalesced onto one computation) and the request
+is answered ``202 {"digest", "status", "status_url"}`` immediately; the
+client polls ``GET /jobs/<digest>`` until it is redirected (``303``) to
+the stored result.  A full queue answers a structured ``429`` carrying
+``Retry-After``.  ``?wait=1`` (or ``Prefer: wait``) opts back into the
+synchronous compute-in-request behavior — byte-identical to the
+pre-job-engine responses — serialized under one lock so concurrent
+synchronous misses share, not duplicate, the process-wide mapping/timing
+caches.
 
 Error contract: every failure is a structured JSON body
 ``{"error": <slug>, "detail": <human text>}`` with the right 4xx status —
 malformed JSON is 400, an unknown scenario or digest is 404, an over-size
-body is 413, a wrong method on a known path is 405.  Unexpected exceptions
-become a 500 with a generic body: no traceback ever leaves the process.
+body is 413, a wrong method on a known path is 405, an overloaded job
+queue is 429.  A *compute-time* failure is classified by whose spec blew
+up: an inline (client-sent) spec is a 400/``invalid-scenario``, a
+registry (server-owned) spec is a 500/``compute-failed`` on synchronous
+paths and the job's ``failed`` state on the async path.  Unexpected
+exceptions become a 500 with a generic body: no traceback ever leaves
+the process.
 
 Scenario references over the wire are **registry names or inline spec
 dicts only** — unlike the CLI, a request body can not name a server-side
@@ -52,6 +75,7 @@ import json
 import statistics
 import threading
 import time
+import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -60,6 +84,14 @@ from repro.scenarios.batch import run_many
 from repro.scenarios.registry import REGISTRY
 from repro.scenarios.spec import Scenario
 from repro.scenarios.store import ResultStore, is_digest, run_cached
+from repro.serving.jobs import (
+    DEFAULT_JOB_WORKERS,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_RETENTION,
+    DONE,
+    JobManager,
+    QueueFullError,
+)
 
 #: Default request-body ceiling: far above any sane inline spec (the
 #: largest registry spec serializes to ~2 KiB) yet small enough that a
@@ -105,9 +137,18 @@ class Response:
         return (json.dumps(self.body, indent=1) + "\n").encode()
 
 
-def error_response(status: int, error: str, detail: str) -> Response:
-    """A structured error body — the only shape failures ever take."""
-    return Response(status, {"error": error, "detail": detail})
+def error_response(
+    status: int,
+    error: str,
+    detail: str,
+    headers: Mapping[str, str] | None = None,
+) -> Response:
+    """A structured error body — the only shape failures ever take.
+
+    ``headers`` carries response headers that are part of the error
+    contract itself (a 429's ``Retry-After``).
+    """
+    return Response(status, {"error": error, "detail": detail}, headers or {})
 
 
 def etag_for(digest: str) -> str:
@@ -138,25 +179,36 @@ def if_none_match_matches(header: str | None, digest: str) -> bool:
 
 @dataclass
 class ServeStats:
-    """Process-lifetime serving counters (the ``/stats`` ``server`` block)."""
+    """Process-lifetime serving counters (the ``/stats`` ``server`` block).
+
+    ``started_unix`` is wall-clock, for display only; ``uptime_s`` is
+    derived from the monotonic clock, so an NTP step (or a ``date -s``)
+    can never make uptime jump or go negative.
+    """
 
     started_unix: float = field(default_factory=time.time)
+    started_monotonic: float = field(default_factory=time.monotonic)
     requests: int = 0
     runs: int = 0
     served_from_store: int = 0
     computed: int = 0
     not_modified: int = 0
+    accepted_jobs: int = 0
+    rejected_jobs: int = 0
     client_errors: int = 0
     server_errors: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
-            "uptime_s": time.time() - self.started_unix,
+            "started_unix": self.started_unix,
+            "uptime_s": time.monotonic() - self.started_monotonic,
             "requests": self.requests,
             "runs": self.runs,
             "served_from_store": self.served_from_store,
             "computed": self.computed,
             "not_modified": self.not_modified,
+            "accepted_jobs": self.accepted_jobs,
+            "rejected_jobs": self.rejected_jobs,
             "client_errors": self.client_errors,
             "server_errors": self.server_errors,
         }
@@ -171,6 +223,9 @@ class ServingApp:
         *,
         workers: int | None = None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        job_workers: int = DEFAULT_JOB_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        job_retention: int = DEFAULT_RETENTION,
     ) -> None:
         if isinstance(store, str):
             # URL addressing: mem://, file:///path?shard=1, ro:///mirror,
@@ -188,11 +243,34 @@ class ServingApp:
             if sweep.FANOUT_START_METHOD is None:
                 sweep.FANOUT_START_METHOD = "forkserver"
         self.stats = ServeStats()
-        #: Cold computes are serialized: concurrent misses queue here and
-        #: re-check the store, so N identical cold requests compute once
-        #: while warm traffic streams past lock-free.
+        #: Synchronous (``?wait=1``) cold computes are serialized:
+        #: concurrent misses queue here and re-check the store, so N
+        #: identical sync cold requests compute once while warm traffic
+        #: streams past lock-free.  Async cold computes go through the
+        #: job engine instead.
         self._compute_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        #: The async job engine behind cold ``POST /run`` (202/coalesce/
+        #: 429) and the ``/jobs`` routes.  Worker threads start lazily on
+        #: the first submission.
+        self.jobs = JobManager(
+            self.store,
+            n_workers=job_workers,
+            max_queue=max_queue,
+            fanout_workers=workers,
+            retention=job_retention,
+            on_terminal=self._job_finished,
+        )
+
+    def _job_finished(self, job) -> None:
+        """Job-engine terminal hook: keep the server-level serving
+        counters meaningful under async traffic too."""
+        if job.state == DONE:
+            self._count("served_from_store" if job.from_cache else "computed")
+
+    def close(self) -> None:
+        """Stop the job engine's worker pool (idempotent)."""
+        self.jobs.shutdown()
 
     # -- entry point --------------------------------------------------------
     def handle(
@@ -209,9 +287,10 @@ class ServingApp:
         }
         self._count("requests")
         try:
+            # No blanket ConfigError → 400 here: request-resolution errors
+            # are answered 4xx at their source, so a ConfigError escaping
+            # to this level is a server-side defect and must say so.
             response = self._route(method.upper(), path, body, lowered)
-        except ConfigError as exc:
-            response = error_response(400, "bad-request", str(exc))
         except Exception as exc:  # noqa: BLE001 — the no-traceback contract
             response = error_response(
                 500, "internal", f"unexpected {type(exc).__name__}"
@@ -236,7 +315,7 @@ class ServingApp:
         body: bytes,
         headers: Mapping[str, str],
     ) -> Response:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         parts = [part for part in path.split("/") if part]
 
         if parts == ["healthz"]:
@@ -249,6 +328,10 @@ class ServingApp:
             return self._require_get(method) or self._handle_scenario(
                 parts[1], headers
             )
+        if parts == ["jobs"]:
+            return self._require_get(method) or self._handle_jobs()
+        if len(parts) == 2 and parts[0] == "jobs":
+            return self._require_get(method) or self._handle_job(parts[1])
         if len(parts) == 2 and parts[0] == "results":
             return self._require_get(method) or self._handle_result(
                 parts[1], headers
@@ -262,7 +345,7 @@ class ServingApp:
                 return error_response(
                     405, "method-not-allowed", "POST /run"
                 )
-            return self._handle_run(body, headers)
+            return self._handle_run(body, headers, query)
         return error_response(404, "not-found", f"no route for {path!r}")
 
     @staticmethod
@@ -320,6 +403,7 @@ class ServingApp:
             200,
             {
                 "server": self.stats.to_dict(),
+                "jobs": self.jobs.stats(),
                 "store": {
                     "url": self.store.url,
                     "writable": self.store.writable,
@@ -375,6 +459,48 @@ class ServingApp:
             {"name": name, "digest": digest, "spec": scenario.to_dict()},
             {"ETag": etag_for(digest)},
         )
+
+    # -- job status routes --------------------------------------------------
+    def _handle_jobs(self) -> Response:
+        return Response(
+            200,
+            {"jobs": self.jobs.list_jobs(), "counters": self.jobs.stats()},
+        )
+
+    def _handle_job(self, digest: str) -> Response:
+        digest = digest.lower()
+        if not is_digest(digest):
+            return error_response(
+                400,
+                "bad-digest",
+                f"malformed job digest {digest!r}: expected 64 hex chars",
+            )
+        snapshot = self.jobs.describe(digest)
+        if snapshot is None:
+            # The job engine never saw this digest (or GC'd it), but the
+            # result may exist anyway — computed synchronously, by the
+            # CLI, or in a previous daemon life.  Existence is what the
+            # client is really asking about, so answer done.
+            if self.store.contains(digest):
+                return Response(
+                    303,
+                    {
+                        "digest": digest,
+                        "status": DONE,
+                        "result_url": f"/results/{digest}",
+                    },
+                    {"Location": f"/results/{digest}"},
+                )
+            return error_response(
+                404,
+                "unknown-job",
+                f"no job (and no stored result) for digest {digest!r}",
+            )
+        if snapshot["status"] == DONE:
+            return Response(
+                303, snapshot, {"Location": f"/results/{digest}"}
+            )
+        return Response(200, snapshot)
 
     def _handle_result(
         self, digest: str, headers: Mapping[str, str]
@@ -474,8 +600,22 @@ class ServingApp:
         )
 
     # -- POST /run ----------------------------------------------------------
+    @staticmethod
+    def _wants_wait(query: str, headers: Mapping[str, str]) -> bool:
+        """Whether this request opted into the synchronous compute path
+        (``?wait=1`` or an RFC-7240-style ``Prefer: wait`` header)."""
+        params = urllib.parse.parse_qs(query, keep_blank_values=True)
+        values = params.get("wait")
+        if values:
+            return values[-1].strip().lower() not in ("0", "false", "no")
+        prefer = headers.get("prefer", "")
+        return any(
+            token.split("=", 1)[0].strip().lower() == "wait"
+            for token in prefer.split(",")
+        )
+
     def _handle_run(
-        self, body: bytes, headers: Mapping[str, str]
+        self, body: bytes, headers: Mapping[str, str], query: str = ""
     ) -> Response:
         if len(body) > self.max_body_bytes:
             return error_response(
@@ -503,9 +643,10 @@ class ServingApp:
                 "invalid-request",
                 'exactly one of "scenario" or "scenarios" is required',
             )
+        wait = self._wants_wait(query, headers)
         if has_single:
-            return self._run_single(request["scenario"], headers)
-        return self._run_batch(request["scenarios"])
+            return self._run_single(request["scenario"], headers, wait)
+        return self._run_batch(request["scenarios"], wait)
 
     def _resolve(self, item: Any) -> Scenario | Response:
         """A registry name or inline spec dict — never a server-side path."""
@@ -532,24 +673,76 @@ class ServingApp:
             "a scenario reference must be a registry name or a spec object",
         )
 
+    @staticmethod
+    def _compute_error(origin: str, exc: ConfigError) -> Response:
+        """Classify a mid-compute ConfigError on a synchronous path.
+
+        A request was already accepted by the time the compute ran, so
+        the 400 family only applies when the *client's own inline spec*
+        turned out bad; a registry (server-owned) spec failing is a
+        server defect and must be a 5xx, not blamed on the request.
+        Either way the detail is the exception's message — never a
+        traceback.
+        """
+        if origin == "inline":
+            return error_response(
+                400, "invalid-scenario", f"spec failed during compute: {exc}"
+            )
+        return error_response(500, "compute-failed", str(exc))
+
+    def _overloaded(self, exc: QueueFullError) -> Response:
+        self._count("rejected_jobs")
+        return error_response(
+            429,
+            "overloaded",
+            str(exc),
+            {"Retry-After": str(exc.retry_after_s)},
+        )
+
     def _run_single(
-        self, item: Any, headers: Mapping[str, str]
+        self, item: Any, headers: Mapping[str, str], wait: bool
     ) -> Response:
         resolved = self._resolve(item)
         if isinstance(resolved, Response):
             return resolved
+        origin = "inline" if isinstance(item, dict) else "registry"
         digest = self.store.digest(resolved)
+        # Count the run before the conditional check: a 304-revalidated
+        # run is still a run, and must not vanish from /stats.
+        self._count("runs")
         if if_none_match_matches(headers.get("if-none-match"), digest):
             return Response(304, None, {"ETag": etag_for(digest)})
-        self._count("runs")
         result = self.store.get(resolved)
+        if result is None and wait:
+            try:
+                with self._compute_lock:
+                    # Re-checked inside: a request that queued behind the
+                    # identical cold compute is served its freshly stored
+                    # entry.
+                    result = run_cached(
+                        resolved, self.store, workers=self.workers
+                    )
+            except ConfigError as exc:
+                return self._compute_error(origin, exc)
         if result is None:
-            with self._compute_lock:
-                # Re-checked inside: a request that queued behind the
-                # identical cold compute is served its freshly stored entry.
-                result = run_cached(
-                    resolved, self.store, workers=self.workers
-                )
+            # Cold, asynchronous: enqueue (or coalesce) and answer 202.
+            try:
+                snapshot = self.jobs.submit(resolved, digest, origin=origin)
+            except QueueFullError as exc:
+                return self._overloaded(exc)
+            self._count("accepted_jobs")
+            return Response(
+                202,
+                {
+                    "name": resolved.name,
+                    "digest": digest,
+                    "status": snapshot["status"],
+                    "status_url": f"/jobs/{digest}",
+                    "queue_position": snapshot["queue_position"],
+                    "coalesced": snapshot["coalesced_onto_existing"],
+                },
+                {"Location": f"/jobs/{digest}"},
+            )
         if result.from_cache:
             self._count("served_from_store")
         else:
@@ -572,7 +765,7 @@ class ServingApp:
             {"ETag": etag_for(digest)},
         )
 
-    def _run_batch(self, items: Any) -> Response:
+    def _run_batch(self, items: Any, wait: bool) -> Response:
         if not isinstance(items, list) or not items:
             return error_response(
                 400, "invalid-request", '"scenarios" must be a non-empty list'
@@ -584,30 +777,46 @@ class ServingApp:
                 f"at most {MAX_BATCH_ITEMS} scenarios per request",
             )
         resolved: list[Scenario] = []
+        origins: list[str] = []
         for item in items:
             scenario = self._resolve(item)
             if isinstance(scenario, Response):
                 return scenario
             resolved.append(scenario)
+            origins.append("inline" if isinstance(item, dict) else "registry")
         self._count("runs", len(resolved))
+        # Digest once per item: the warmness probe and the batch runner
+        # share this list instead of each hashing every spec again.
+        digests = [self.store.digest(scenario) for scenario in resolved]
         # An all-warm batch is pure file reads — let it stream past the
         # compute lock instead of queueing behind someone's cold compute.
         # The probe is a hint: if an entry turns out corrupt, run_many
         # recomputes it without the lock (duplicate work in a rare race,
         # never a wrong answer).
-        all_warm = all(
-            self.store.contains(self.store.digest(scenario))
-            for scenario in resolved
-        )
-        if all_warm:
-            batch = run_many(
-                resolved, store=self.store, workers=self.workers
-            )
-        else:
-            with self._compute_lock:
+        warmness = [self.store.contains(digest) for digest in digests]
+        if not wait and not all(warmness):
+            return self._enqueue_batch(resolved, digests, origins, warmness)
+        try:
+            if all(warmness):
                 batch = run_many(
-                    resolved, store=self.store, workers=self.workers
+                    resolved,
+                    store=self.store,
+                    workers=self.workers,
+                    digests=digests,
                 )
+            else:
+                with self._compute_lock:
+                    batch = run_many(
+                        resolved,
+                        store=self.store,
+                        workers=self.workers,
+                        digests=digests,
+                    )
+        except ConfigError as exc:
+            # Which spec failed is not recoverable from here; blame the
+            # client only when the batch contained client-sent specs.
+            origin = "inline" if "inline" in origins else "registry"
+            return self._compute_error(origin, exc)
         self._count("served_from_store", batch.stats.n_from_store)
         self._count("computed", batch.stats.n_computed)
         return Response(
@@ -634,6 +843,63 @@ class ServingApp:
                     "n_computed": batch.stats.n_computed,
                     "n_deduplicated": batch.stats.n_deduplicated,
                     "store_hit_rate": batch.stats.store_hit_rate,
+                },
+            },
+        )
+
+    def _enqueue_batch(
+        self,
+        resolved: list[Scenario],
+        digests: list[str],
+        origins: list[str],
+        warmness: list[bool],
+    ) -> Response:
+        """Async batch admission: every unique cold digest becomes a job
+        (admitted atomically — the whole batch or nothing), warm items are
+        pointed at their stored results, and the response is a 202 status
+        sheet rather than a pile of artifacts."""
+        cold = [
+            (scenario, digest, origin)
+            for scenario, digest, origin, warm in zip(
+                resolved, digests, origins, warmness
+            )
+            if not warm
+        ]
+        try:
+            snapshots = self.jobs.submit_many(cold)
+        except QueueFullError as exc:
+            return self._overloaded(exc)
+        self._count("accepted_jobs", len(snapshots))
+        entries = []
+        for scenario, digest, warm in zip(resolved, digests, warmness):
+            if warm:
+                entries.append(
+                    {
+                        "name": scenario.name,
+                        "digest": digest,
+                        "status": DONE,
+                        "result_url": f"/results/{digest}",
+                    }
+                )
+            else:
+                snapshot = snapshots[digest]
+                entries.append(
+                    {
+                        "name": scenario.name,
+                        "digest": digest,
+                        "status": snapshot["status"],
+                        "status_url": f"/jobs/{digest}",
+                        "queue_position": snapshot["queue_position"],
+                    }
+                )
+        return Response(
+            202,
+            {
+                "entries": entries,
+                "stats": {
+                    "n_items": len(entries),
+                    "n_warm": sum(warmness),
+                    "n_jobs": len(snapshots),
                 },
             },
         )

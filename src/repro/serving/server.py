@@ -56,6 +56,12 @@ class ReproHTTPServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    def server_close(self) -> None:
+        super().server_close()
+        # Stop the app's job-engine worker pool with the socket: a test
+        # (or an operator's reload loop) must not leak worker threads.
+        self.app.close()
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
@@ -87,18 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
         length_header = self.headers.get("Content-Length")
         if length_header is None:
             return b""
-        try:
-            length = int(length_header)
-        except ValueError:
+        # Strict ASCII digits only: bare int() would also accept "+100",
+        # " 100 " and "1_0" (python literal underscores) — none of which
+        # any peer we can safely frame against would have sent.  A
+        # digits-only string can never be negative.
+        if not (length_header.isascii() and length_header.isdigit()):
             self.close_connection = True
             return error_response(
                 400, "bad-content-length", f"not a length: {length_header!r}"
             )
-        if length < 0:
-            self.close_connection = True
-            return error_response(
-                400, "bad-content-length", "negative Content-Length"
-            )
+        length = int(length_header)
         if length > self.server.app.max_body_bytes:
             self.close_connection = True
             return error_response(
@@ -198,6 +202,8 @@ def create_server(
     max_cache_entries: int | None = None,
     shard: bool = False,
     max_body_bytes: int = MAX_BODY_BYTES,
+    job_workers: int | None = None,
+    max_queue: int | None = None,
     quiet: bool = True,
 ) -> ReproHTTPServer:
     """Build a ready-to-serve daemon (``port=0`` binds an ephemeral port).
@@ -207,7 +213,9 @@ def create_server(
     :mod:`repro.scenarios.backends.url`; supersedes the other store
     knobs), or the store knobs
     (``cache_dir``/``max_cache_bytes``/``max_cache_entries``/``shard``)
-    to have one built.
+    to have one built.  ``job_workers``/``max_queue`` size the async job
+    engine behind cold ``POST /run`` (CLI ``--job-workers``/
+    ``--max-queue``); ``None`` keeps the app defaults.
     """
     if store is not None and cache is not None:
         raise ConfigError(
@@ -239,7 +247,14 @@ def create_server(
             max_entries=max_cache_entries,
             shard=shard,
         )
-    app = ServingApp(store, workers=workers, max_body_bytes=max_body_bytes)
+    job_knobs: dict = {}
+    if job_workers is not None:
+        job_knobs["job_workers"] = job_workers
+    if max_queue is not None:
+        job_knobs["max_queue"] = max_queue
+    app = ServingApp(
+        store, workers=workers, max_body_bytes=max_body_bytes, **job_knobs
+    )
     return ReproHTTPServer((host, port), app, quiet=quiet)
 
 

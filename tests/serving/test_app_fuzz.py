@@ -129,6 +129,10 @@ class TestScenarioReferences:
             assert_structured_4xx(response, 404)
 
     def test_mutated_spec_dicts_never_500(self, app):
+        # ?wait=1 keeps the compute in-request: a mutated inline spec that
+        # only blows up mid-compute must still come back as a structured
+        # 4xx (the client sent it), never a 500 — and async submission
+        # would otherwise fill the job queue with hostile specs.
         rng = random.Random(0x5bec)
         base = get("fig3c-blade-spec").to_dict()
         keys = list(base)
@@ -146,7 +150,7 @@ class TestScenarioReferences:
                 else:
                     spec[key] = {"nested": [key]}
             response = app.handle(
-                "POST", "/run", json.dumps({"scenario": spec}).encode()
+                "POST", "/run?wait=1", json.dumps({"scenario": spec}).encode()
             )
             if response.status != 200:
                 assert_structured_4xx(response)
@@ -259,6 +263,65 @@ class TestRoutesAndMethods:
             "detail": "unexpected RuntimeError",
         }
         assert "secret" not in json.dumps(response.body)
+
+
+class TestJobRoutes:
+    """The no-500 contract extends over the async job surface."""
+
+    def test_hostile_job_digests_are_structured_4xx(self, app):
+        rng = random.Random(0x10B5)
+        for _ in range(N_CASES):
+            digest = "".join(
+                rng.choice(string.hexdigits + "xyz!/.%")
+                for _ in range(rng.choice((1, 8, 40, 63, 64, 65, 128)))
+            )
+            if "/" in digest:  # would split into a different route depth
+                continue
+            response = app.handle("GET", f"/jobs/{digest}")
+            assert_structured_4xx(response)
+            lowered = digest.lower()
+            if len(lowered) == 64 and all(
+                c in "0123456789abcdef" for c in lowered
+            ):
+                assert response.body["error"] == "unknown-job"
+            else:
+                assert response.body["error"] == "bad-digest"
+
+    def test_wrong_methods_on_job_routes_are_405(self, app):
+        for method, path in (
+            ("POST", "/jobs"),
+            ("DELETE", "/jobs"),
+            ("POST", "/jobs/" + "0" * 64),
+            ("PUT", "/jobs/" + "0" * 64),
+        ):
+            assert_structured_4xx(app.handle(method, path), 405)
+
+    def test_deep_job_paths_are_404(self, app):
+        response = app.handle("GET", "/jobs/" + "0" * 64 + "/extra")
+        assert_structured_4xx(response, 404)
+
+    def test_hostile_wait_queries_and_prefer_headers_never_500(self, app):
+        rng = random.Random(0x3A17)
+        body = json.dumps({"scenario": "nope"}).encode()
+        for _ in range(N_CASES):
+            query = "".join(
+                rng.choice(string.printable.replace("\r", "").replace("\n", ""))
+                for _ in range(rng.randint(0, 24))
+            )
+            prefer = "".join(
+                rng.choice(string.ascii_letters + " ,;==")
+                for _ in range(rng.randint(0, 16))
+            )
+            response = app.handle(
+                "POST", f"/run?{query}", body, {"Prefer": prefer}
+            )
+            # Unknown scenario regardless of how the knobs are mangled.
+            assert_structured_4xx(response, 404)
+
+    def test_empty_jobs_listing_is_200(self, app):
+        response = app.handle("GET", "/jobs")
+        assert response.status == 200
+        assert response.body["jobs"] == []
 
 
 class TestIfNoneMatch:

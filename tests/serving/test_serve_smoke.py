@@ -30,7 +30,7 @@ def test_serve_smoke(tmp_path):
             conn = http.client.HTTPConnection(host, port, timeout=30)
             try:
                 conn.request(
-                    "POST", "/run", json.dumps({"scenario": "table1"})
+                    "POST", "/run?wait=1", json.dumps({"scenario": "table1"})
                 )
                 response = conn.getresponse()
                 return response.status, json.loads(response.read())
@@ -100,6 +100,8 @@ def test_serve_cli_flags_parse():
             "--cache-dir", "/tmp/x",
             "--max-cache-bytes", "1000000",
             "--max-cache-entries", "64",
+            "--job-workers", "4",
+            "--max-queue", "16",
             "--shard",
             "--verbose",
         ]
@@ -109,6 +111,8 @@ def test_serve_cli_flags_parse():
     assert args.cache_dir == "/tmp/x"
     assert args.max_cache_bytes == 1_000_000
     assert args.max_cache_entries == 64
+    assert args.job_workers == 4
+    assert args.max_queue == 16
     assert args.shard is True
     assert args.quiet is False
     assert args.fn.__name__ == "_cmd_serve"

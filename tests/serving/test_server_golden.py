@@ -53,7 +53,7 @@ class TestRunGolden:
         self, live_server, tmp_path
     ):
         # Cold: the server computes and stores.
-        cold = live_server.post_json("/run", {"scenario": CHEAP_POINT})
+        cold = live_server.post_json("/run?wait=1", {"scenario": CHEAP_POINT})
         assert cold.status == 200
         assert cold.json()["from_cache"] is False
 
@@ -65,7 +65,7 @@ class TestRunGolden:
         timing, mapping = default_timing_cache(), default_mapping_cache()
         timing_before = (timing.hits, timing.misses)
         mapping_before = (mapping.hits, mapping.misses)
-        warm = live_server.post_json("/run", {"scenario": CHEAP_POINT})
+        warm = live_server.post_json("/run?wait=1", {"scenario": CHEAP_POINT})
         assert warm.status == 200
         assert warm.json()["from_cache"] is True
         assert (timing.hits, timing.misses) == timing_before
@@ -83,7 +83,7 @@ class TestRunGolden:
         assert artifacts == cold.json()["artifacts"]
 
     def test_grid_scenario_csv_matches_cli(self, live_server, tmp_path):
-        reply = live_server.post_json("/run", {"scenario": "fig6"})
+        reply = live_server.post_json("/run?wait=1", {"scenario": "fig6"})
         assert reply.status == 200
         out_dir = tmp_path / "cli"
         assert main(["run", "fig6", "--out", str(out_dir)]) == 0
@@ -92,7 +92,7 @@ class TestRunGolden:
         assert csv.encode() == (out_dir / "fig6.csv").read_bytes()
 
     def test_repeat_with_etag_is_304(self, live_server):
-        cold = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        cold = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         assert cold.status == 200 and cold.etag
 
         timing = default_timing_cache()
@@ -110,7 +110,7 @@ class TestRunGolden:
     def test_inline_spec_shares_the_registry_content_address(
         self, live_server
     ):
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         inline = live_server.post_json(
             "/run", {"scenario": get(CHEAP_TABLE).to_dict()}
         )
@@ -121,7 +121,7 @@ class TestRunGolden:
 
 class TestResultsByDigest:
     def test_stored_entry_replays(self, live_server):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         reply = live_server.request("GET", f"/results/{digest}")
         assert reply.status == 200
@@ -132,7 +132,7 @@ class TestResultsByDigest:
         assert Scenario.from_dict(entry["scenario"]).name == CHEAP_TABLE
 
     def test_etag_revalidation(self, live_server):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         lookups_before = live_server.store.stats.lookups
         reply = live_server.request(
@@ -157,9 +157,9 @@ class TestResultsByDigest:
 
 class TestBatchRun:
     def test_batch_dedups_and_serves_from_store(self, live_server):
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         reply = live_server.post_json(
-            "/run",
+            "/run?wait=1",
             {"scenarios": [CHEAP_TABLE, "table1", CHEAP_TABLE]},
         )
         assert reply.status == 200
@@ -175,8 +175,8 @@ class TestBatchRun:
         assert body["stats"]["n_computed"] == 1
 
     def test_stats_reflect_traffic(self, live_server):
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         reply = live_server.request("GET", "/stats")
         assert reply.status == 200
         stats = reply.json()
@@ -191,8 +191,8 @@ class TestBatchRun:
         self, live_server
     ):
         """A PR-3-era entry must not leak a fabricated 1970 timestamp."""
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
-        live_server.post_json("/run", {"scenario": "table1"})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": "table1"})
         # Strip one entry's provenance, as a pre-GC-era writer would have.
         path = live_server.store.path_for(get(CHEAP_TABLE))
         entry = json.loads(path.read_text())
@@ -213,7 +213,7 @@ class TestBatchRun:
         """An all-warm batch is pure file reads; it must not queue behind
         someone's cold compute."""
         live_server.post_json(
-            "/run", {"scenarios": [CHEAP_TABLE, "table1"]}
+            "/run?wait=1", {"scenarios": [CHEAP_TABLE, "table1"]}
         )
         with live_server.app._compute_lock:  # a cold compute in flight
             reply = live_server.post_json(
@@ -229,7 +229,7 @@ class TestContentNegotiation:
     ETag/304 contract as the JSON route."""
 
     def test_text_artifact_matches_cli_bytes(self, live_server, tmp_path):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         out_dir = tmp_path / "cli"
         assert main(["run", CHEAP_TABLE, "--out", str(out_dir)]) == 0
@@ -241,7 +241,7 @@ class TestContentNegotiation:
         assert reply.body == (out_dir / f"{CHEAP_TABLE}.txt").read_bytes()
 
     def test_csv_artifact_matches_cli_bytes(self, live_server, tmp_path):
-        run = live_server.post_json("/run", {"scenario": "fig6"})
+        run = live_server.post_json("/run?wait=1", {"scenario": "fig6"})
         digest = run.json()["digest"]
         out_dir = tmp_path / "cli"
         assert main(["run", "fig6", "--out", str(out_dir)]) == 0
@@ -253,14 +253,14 @@ class TestContentNegotiation:
         assert reply.body == (out_dir / "fig6.csv").read_bytes()
 
     def test_table_scenario_has_no_csv_representation(self, live_server):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         reply = live_server.request("GET", f"/results/{digest}/csv")
         assert reply.status == 404
         assert reply.json()["error"] == "no-csv-artifact"
 
     def test_etag_revalidation_on_artifact_routes(self, live_server):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         reply = live_server.request(
             "GET",
@@ -284,7 +284,7 @@ class TestContentNegotiation:
     def test_unknown_stage_and_digest_are_structured_errors(
         self, live_server
     ):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         reply = live_server.request("GET", f"/results/{digest}/pdf")
         assert reply.status == 404
@@ -335,7 +335,7 @@ class TestHttpEdgeCases:
     def test_uppercase_digest_url_revalidates_against_lowercase_etag(
         self, live_server
     ):
-        run = live_server.post_json("/run", {"scenario": CHEAP_TABLE})
+        run = live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
         digest = run.json()["digest"]
         reply = live_server.request(
             "GET",
@@ -429,8 +429,8 @@ class TestTieredDaemon:
             thread.join(timeout=10)
 
     def test_stats_report_median_created_age(self, live_server):
-        live_server.post_json("/run", {"scenario": CHEAP_TABLE})
-        live_server.post_json("/run", {"scenario": "table1"})
+        live_server.post_json("/run?wait=1", {"scenario": CHEAP_TABLE})
+        live_server.post_json("/run?wait=1", {"scenario": "table1"})
         block = live_server.request("GET", "/stats").json()["store"][
             "provenance"
         ]

@@ -21,14 +21,14 @@ SCENARIO = "fig3c-blade-spec"
 
 class TestWarmLoad:
     def test_parallel_warm_runs_agree_byte_for_byte(self, live_server):
-        reference = live_server.post_json("/run", {"scenario": SCENARIO})
+        reference = live_server.post_json("/run?wait=1", {"scenario": SCENARIO})
         assert reference.status == 200
 
         def client(_):
             replies = []
             for _ in range(N_REQUESTS_PER_CLIENT):
                 replies.append(
-                    live_server.post_json("/run", {"scenario": SCENARIO})
+                    live_server.post_json("/run?wait=1", {"scenario": SCENARIO})
                 )
             return replies
 
@@ -57,7 +57,7 @@ class TestWarmLoad:
             return [
                 (
                     name,
-                    live_server.post_json("/run", {"scenario": name}),
+                    live_server.post_json("/run?wait=1", {"scenario": name}),
                 )
                 for name in picks
             ]
@@ -77,7 +77,7 @@ class TestWarmLoad:
         assert live_server.store.n_entries == len(names)
 
     def test_mixed_traffic_with_revalidation_and_stats(self, live_server):
-        cold = live_server.post_json("/run", {"scenario": SCENARIO})
+        cold = live_server.post_json("/run?wait=1", {"scenario": SCENARIO})
         digest = cold.json()["digest"]
         etag = cold.etag
 
