@@ -16,17 +16,21 @@ batch runner serving the same scenarios out of a warm result store
 (``serve_warm_seconds`` — a pure file-read replay, asserted compute-free)
 and the HTTP daemon serving the same set warm over real sockets
 (``serve_http_warm_seconds`` — one ``POST /run`` per scenario against a
-live ``ThreadingHTTPServer``, asserted compute-free) and *hot* through a
-mem-over-file tiered store (``serve_http_hot_seconds`` — the daemon's
-production stack: after first promotion every request is answered from the
-in-process LRU tier, asserted to perform zero file reads via per-tier
-stats), plus the async job engine end to end
+live daemon, asserted compute-free), *hot* through a mem-over-file tiered
+store (``serve_http_hot_seconds`` — the daemon's production stack: after
+first promotion every request is answered from the in-process LRU tier,
+asserted to perform zero file reads via per-tier stats), and *federated*
+(``serve_http_peer_seconds`` — the warm set replayed through an
+``http://`` store backend whose peer is a live daemon: raw entry GETs
+with ETag revalidation and gzip on the wire), plus the async job engine
+end to end
 (``serve_http_cold_concurrent_seconds`` — N distinct cold specs POSTed
 concurrently, each answered ``202`` and polled through ``/jobs/<digest>``
 to its ``303`` redirect, asserted to compute each digest exactly once),
-and gates all five numbers against the committed ``BENCH_baseline.json``:
-a >2× regression of any fails the default pytest run.  Collected in the
-default pytest run via ``benchmarks/conftest.py``.
+and gates all six numbers against the committed ``BENCH_baseline.json``:
+a >2× regression of any fails the default pytest run.  All daemons run
+on the shared :func:`repro.serving.testing.launch_daemon` harness.
+Collected in the default pytest run via ``benchmarks/conftest.py``.
 """
 
 from __future__ import annotations
@@ -189,6 +193,7 @@ def test_engine_speed_vs_seed_flat_timing():
         "serve_warm_seconds": serve["warm_seconds"],
         "serve_http_warm_seconds": serve["http_warm_seconds"],
         "serve_http_hot_seconds": serve["http_hot_seconds"],
+        "serve_http_peer_seconds": serve["http_peer_seconds"],
         "serve_http_cold_concurrent_seconds": cold_async[
             "http_cold_concurrent_seconds"
         ],
@@ -201,6 +206,9 @@ def test_engine_speed_vs_seed_flat_timing():
             "same warm set over real sockets through the HTTP daemon; "
             "serve_http_hot_seconds serves it through a mem-over-file "
             "tiered store with zero file reads after promotion; "
+            "serve_http_peer_seconds replays the warm set through an "
+            "http:// store backend against a peer daemon (the federation "
+            "wire: raw entry GETs with ETag revalidation and gzip); "
             "serve_http_cold_concurrent_seconds submits N distinct cold "
             "specs concurrently (202 each), polls /jobs/<digest> to the "
             "303 redirect and reads every result — the async job engine "
@@ -217,7 +225,9 @@ def test_engine_speed_vs_seed_flat_timing():
         f"{serve['warm_seconds'] * 1e3:.1f} ms for "
         f"{len(SERVE_SCENARIOS)} scenarios "
         f"({serve['http_warm_seconds'] * 1e3:.1f} ms over HTTP, "
-        f"{serve['http_hot_seconds'] * 1e3:.1f} ms hot via mem tier); "
+        f"{serve['http_hot_seconds'] * 1e3:.1f} ms hot via mem tier, "
+        f"{serve['http_peer_seconds'] * 1e3:.1f} ms through an http:// "
+        "peer backend); "
         f"{N_COLD_JOBS} concurrent cold jobs in "
         f"{cold_async['http_cold_concurrent_seconds'] * 1e3:.1f} ms "
         "async end to end"
@@ -232,19 +242,21 @@ def test_engine_speed_vs_seed_flat_timing():
 
 
 def _measure_warm_serving() -> dict:
-    """Time the batch runner cold (compute + store), warm (pure reads), and
-    the HTTP daemon serving the same warm set over real sockets.
+    """Time the batch runner cold (compute + store), warm (pure reads),
+    the HTTP daemon serving the same warm set over real sockets, and the
+    federation read path (an ``http://`` store backend over a peer
+    daemon).
 
-    Both warm passes must be compute-free — the kernel-timing counters are
+    Every warm pass must be compute-free — the kernel-timing counters are
     asserted not to move while every artifact is replayed.
     """
     import http.client
     import tempfile
-    import threading
 
+    from repro.scenarios.backends import HTTPPeerBackend
     from repro.scenarios.batch import run_many
     from repro.scenarios.store import ResultStore
-    from repro.serving import create_server
+    from repro.serving.testing import launch_daemon
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
         store = ResultStore(tmp)
@@ -265,12 +277,10 @@ def _measure_warm_serving() -> dict:
 
         # Warm HTTP serving: one POST /run per scenario on a keep-alive
         # connection against the live threaded daemon.
-        server = create_server(port=0, store=store)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            host, port = server.server_address[:2]
-            connection = http.client.HTTPConnection(host, port, timeout=60)
+        with launch_daemon(store=store) as daemon:
+            connection = http.client.HTTPConnection(
+                daemon.host, daemon.port, timeout=60
+            )
             counters = (cache.hits, cache.misses)
             t0 = time.perf_counter()
             for name in SERVE_SCENARIOS:
@@ -285,10 +295,6 @@ def _measure_warm_serving() -> dict:
             assert (cache.hits, cache.misses) == counters, (
                 "warm HTTP serving performed kernel timings"
             )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10)
 
         # Hot HTTP serving: the daemon's production stack — a mem:// tier
         # over the same cache dir.  A priming pass promotes every digest;
@@ -296,12 +302,10 @@ def _measure_warm_serving() -> dict:
         # file reads (asserted via the file tier's per-tier stats).
         tiered = ResultStore(f"mem://,file://{tmp}")
         file_tier = tiered.backend.tiers[1]
-        server = create_server(port=0, store=tiered)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            host, port = server.server_address[:2]
-            connection = http.client.HTTPConnection(host, port, timeout=60)
+        with launch_daemon(store=tiered) as daemon:
+            connection = http.client.HTTPConnection(
+                daemon.host, daemon.port, timeout=60
+            )
 
             def post_all() -> None:
                 for name in SERVE_SCENARIOS:
@@ -327,15 +331,31 @@ def _measure_warm_serving() -> dict:
             assert file_tier.counters.reads == file_reads, (
                 "hot HTTP serving touched the file tier"
             )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10)
+
+        # Peer-federation serving: the same warm set replayed through an
+        # ``http://`` store backend — the batch runner's store *is* a
+        # remote daemon, so every read exercises the federation wire
+        # (raw entry GET, ETag revalidation, gzip) instead of the local
+        # filesystem.  Still compute-free.
+        with launch_daemon(store=ResultStore(tmp)) as peer:
+            peer_store = ResultStore(backend=HTTPPeerBackend(peer.url))
+            counters = (cache.hits, cache.misses)
+            t0 = time.perf_counter()
+            federated = run_many(SERVE_SCENARIOS, store=peer_store)
+            http_peer_seconds = time.perf_counter() - t0
+            assert all(entry.from_cache for entry in federated.entries)
+            assert (cache.hits, cache.misses) == counters, (
+                "federated peer serving performed kernel timings"
+            )
+            assert peer_store.backend.counters.hits == len(
+                SERVE_SCENARIOS
+            ), "every scenario must be read over the peer wire"
     return {
         "cold_seconds": round(cold_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
         "http_warm_seconds": round(http_warm_seconds, 6),
         "http_hot_seconds": round(http_hot_seconds, 6),
+        "http_peer_seconds": round(http_peer_seconds, 6),
     }
 
 
@@ -356,20 +376,17 @@ def _measure_cold_async_serving() -> dict:
 
     from repro.scenarios import get
     from repro.scenarios.store import ResultStore
-    from repro.serving import create_server
+    from repro.serving.testing import launch_daemon
 
     base = get("fig3c-blade-spec").to_dict()
     specs = [dict(base, name=f"bench-cold-{i}") for i in range(N_COLD_JOBS)]
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-jobs-") as tmp:
         store = ResultStore(tmp)
-        server = create_server(
-            port=0, store=store, job_workers=COLD_JOB_WORKERS
-        )
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            host, port = server.server_address[:2]
+        with launch_daemon(
+            store=store, job_workers=COLD_JOB_WORKERS
+        ) as daemon:
+            host, port = daemon.host, daemon.port
             failures: list[str] = []
 
             def submit_and_poll(spec: dict) -> None:
@@ -419,16 +436,12 @@ def _measure_cold_async_serving() -> dict:
             cold_concurrent_seconds = time.perf_counter() - t0
 
             assert not failures, failures
-            jobs = server.app.jobs.stats()
+            jobs = daemon.app.jobs.stats()
             assert jobs["done"] == N_COLD_JOBS and jobs["failed"] == 0, jobs
             assert store.stats.puts == N_COLD_JOBS, (
                 "coalescing/caching broke: each unique digest must be "
                 f"computed exactly once, got {store.stats.puts} puts"
             )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10)
     return {
         "http_cold_concurrent_seconds": round(cold_concurrent_seconds, 6)
     }
@@ -459,6 +472,7 @@ def _gate_against_baseline(result: dict) -> None:
         "serve_warm_seconds",
         "serve_http_warm_seconds",
         "serve_http_hot_seconds",
+        "serve_http_peer_seconds",
         "serve_http_cold_concurrent_seconds",
     ):
         measured = result[metric]

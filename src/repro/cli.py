@@ -293,6 +293,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard=args.shard,
         job_workers=args.job_workers,
         max_queue=args.max_queue,
+        trust_puts=args.trust_puts,
         quiet=args.quiet,
     )
     return serve_forever(server)
@@ -304,8 +305,9 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="URL",
         help="result-store backend address: mem://, file:///path?shard=1, "
-        "ro:///mirror, or comma-separated tiers such as "
-        "mem://,file:///path (supersedes --cache-dir)",
+        "ro:///mirror, http://peer:8035, ring://a:8035;b:8035?replicas=2, "
+        "or comma-separated tiers such as mem://,file:///path "
+        "(supersedes --cache-dir)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -418,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard",
         action="store_true",
         help="write entries under two-hex-prefix shard directories",
+    )
+    p_serve.add_argument(
+        "--trust-puts",
+        action="store_true",
+        help="store PUT /results/<digest> bodies opaquely instead of "
+        "verifying them against the digest (trusted clusters only)",
     )
     p_serve.add_argument(
         "--verbose",

@@ -24,6 +24,11 @@ Concrete backends:
   the byte-capped LRU hot tier;
 * :class:`~repro.scenarios.backends.mirror.ReadOnlyMirrorBackend` —
   ``ro://``, a shared mirror that is never written or healed;
+* :class:`~repro.scenarios.backends.http.HTTPPeerBackend` —
+  ``http(s)://``, a peer serving daemon used as a remote tier (ETag
+  revalidation + gzip on the wire, degrade-to-miss on network failure);
+* :class:`~repro.scenarios.backends.hashring.HashRingBackend` —
+  ``ring://``, consistent-hash federation of N peer daemons;
 * :class:`~repro.scenarios.backends.tiered.TieredStore` — comma-separated
   tiers, read-through with promotion.
 """
@@ -67,6 +72,14 @@ class BackendStats:
     leaves the file tier's ``reads`` frozen).  ``promotions`` only moves on
     composite backends; ``corrupt_skipped`` counts entries a tiered read
     refused to promote (and a read-only mirror left in place).
+
+    The last two counters only move on *remote* backends
+    (:class:`~repro.scenarios.backends.http.HTTPPeerBackend` and the
+    ``ring://`` federation built on it): ``revalidations`` counts reads
+    answered ``304`` from the peer and served out of the local
+    revalidation cache (a hit that moved an ETag, not a body, over the
+    wire), ``remote_errors`` counts network/peer failures the client
+    degraded to a miss instead of raising.
     """
 
     hits: int = 0
@@ -76,6 +89,8 @@ class BackendStats:
     evictions: int = 0
     promotions: int = 0
     corrupt_skipped: int = 0
+    revalidations: int = 0
+    remote_errors: int = 0
 
     @property
     def reads(self) -> int:
@@ -92,6 +107,8 @@ class BackendStats:
             "evictions": self.evictions,
             "promotions": self.promotions,
             "corrupt_skipped": self.corrupt_skipped,
+            "revalidations": self.revalidations,
+            "remote_errors": self.remote_errors,
         }
 
 

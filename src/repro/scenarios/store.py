@@ -34,8 +34,9 @@ byte-identical to the cold run's regardless of which backend served them.
 Stores are addressable by URL everywhere one is accepted
 (:func:`run_cached`, :func:`~repro.scenarios.batch.run_many`, the serving
 daemon, the CLI's ``--cache``): ``mem://``, ``file:///path?shard=1``,
-``ro:///mirror``, or comma-separated tiers — see
-:mod:`repro.scenarios.backends.url`.
+``ro:///mirror``, ``http://peer:8035`` (a remote daemon as a tier),
+``ring://a;b?replicas=2`` (consistent-hash federation), or
+comma-separated tiers — see :mod:`repro.scenarios.backends.url`.
 
 :func:`run_cached` is the store-aware single-scenario entry point; the
 batch runner (:mod:`repro.scenarios.batch`) and the CLI both route through
@@ -399,7 +400,8 @@ class ResultStore:
     The backend is chosen by the first argument: a plain path (or nothing)
     builds the default local-filesystem backend honoring
     ``shard``/``max_bytes``/``max_entries``; a URL string (``mem://``,
-    ``file:///path?shard=1``, ``ro:///mirror``, comma-separated tiers)
+    ``file:///path?shard=1``, ``ro:///mirror``, ``http://peer:8035``,
+    ``ring://a;b``, comma-separated tiers)
     routes through :func:`~repro.scenarios.backends.url.backend_from_url`;
     an explicit ``backend=`` takes anything satisfying
     :class:`~repro.scenarios.backends.base.StoreBackend`.

@@ -34,8 +34,11 @@ from repro.serving.jobs import (
     QueueFullError,
 )
 from repro.serving.server import ReproHTTPServer, create_server, serve_forever
+from repro.serving.testing import LiveDaemon, launch_daemon
 
 __all__ = [
+    "LiveDaemon",
+    "launch_daemon",
     "DEFAULT_JOB_WORKERS",
     "DEFAULT_MAX_QUEUE",
     "Job",

@@ -26,10 +26,24 @@ Routes (responses are JSON unless noted)::
     GET  /jobs/<digest>           one job: queued|running|done|failed with
                                   queue position, timings, provenance
                                   (done ⇒ 303 to /results/<digest>)
-    GET  /results/<digest>        one stored entry by bare content address
+    GET  /results/<digest>        one stored entry by bare content address;
+                                  with ``Accept: application/
+                                  x-repro-entry+json`` the *stored entry
+                                  bytes* are served verbatim (the
+                                  federation wire format peers replicate)
+    PUT  /results/<digest>        replicate an entry from a peer: the body
+                                  is the stored-entry JSON, verified
+                                  against the digest's canonical spec hash
+                                  (structured 4xx on mismatch) unless the
+                                  daemon runs with ``--trust-puts``
+    DELETE /results/<digest>      drop one stored entry (peer-driven
+                                  invalidation/gc)
     GET  /results/<digest>/csv    the cached CSV artifact (``text/csv``)
     GET  /results/<digest>/text   the rendered figure/table
                                   (``text/plain``)
+    GET  /store/entries           storage metadata per entry (digest,
+                                  size, LRU mtime) — drives client-side
+                                  ``entries()``/``gc()`` of remote tiers
 
 Caching contract: the response to ``POST /run`` and ``GET /results/…``
 (all three representations) is fully determined by the spec digest (the
@@ -70,6 +84,7 @@ file path (a network peer must never drive local file reads).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import statistics
@@ -80,6 +95,8 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import ConfigError
+from repro.scenarios.backends.base import STORE_FORMAT
+from repro.scenarios.backends.http import ENTRY_CONTENT_TYPE
 from repro.scenarios.batch import run_many
 from repro.scenarios.registry import REGISTRY
 from repro.scenarios.spec import Scenario
@@ -197,6 +214,11 @@ class ServeStats:
     rejected_jobs: int = 0
     client_errors: int = 0
     server_errors: int = 0
+    #: Federation traffic: raw-entry reads, replications in, deletions —
+    #: the peer-facing counters, distinct from human/JSON serving.
+    entry_reads: int = 0
+    entry_puts: int = 0
+    entry_deletes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -211,6 +233,9 @@ class ServeStats:
             "rejected_jobs": self.rejected_jobs,
             "client_errors": self.client_errors,
             "server_errors": self.server_errors,
+            "entry_reads": self.entry_reads,
+            "entry_puts": self.entry_puts,
+            "entry_deletes": self.entry_deletes,
         }
 
 
@@ -226,6 +251,7 @@ class ServingApp:
         job_workers: int = DEFAULT_JOB_WORKERS,
         max_queue: int = DEFAULT_MAX_QUEUE,
         job_retention: int = DEFAULT_RETENTION,
+        trust_puts: bool = False,
     ) -> None:
         if isinstance(store, str):
             # URL addressing: mem://, file:///path?shard=1, ro:///mirror,
@@ -234,6 +260,14 @@ class ServingApp:
         self.store = store if store is not None else ResultStore()
         self.workers = workers
         self.max_body_bytes = max_body_bytes
+        #: ``PUT /results/<digest>`` verification policy.  ``False``
+        #: (default): the body must be a well-formed entry whose canonical
+        #: spec hash *is* the digest — a hostile peer cannot poison the
+        #: store.  ``True`` (``--trust-puts``): bytes are stored opaquely,
+        #: which is the raw :class:`StoreBackend` contract — for peers
+        #: inside a trusted cluster, where the *reading* front-end owns
+        #: validation exactly as it does for a shared directory.
+        self.trust_puts = trust_puts
         if workers:
             # This process runs handler threads; fork-based fan-out could
             # clone a lock mid-acquire and deadlock the child.  Forkserver
@@ -333,9 +367,19 @@ class ServingApp:
         if len(parts) == 2 and parts[0] == "jobs":
             return self._require_get(method) or self._handle_job(parts[1])
         if len(parts) == 2 and parts[0] == "results":
-            return self._require_get(method) or self._handle_result(
-                parts[1], headers
+            if method == "GET":
+                return self._handle_result(parts[1], headers)
+            if method == "PUT":
+                return self._handle_result_put(parts[1], body)
+            if method == "DELETE":
+                return self._handle_result_delete(parts[1])
+            return error_response(
+                405,
+                "method-not-allowed",
+                "GET, PUT or DELETE /results/<digest>",
             )
+        if parts == ["store", "entries"]:
+            return self._require_get(method) or self._handle_store_entries()
         if len(parts) == 3 and parts[0] == "results":
             return self._require_get(method) or self._handle_result_artifact(
                 parts[1], parts[2], headers
@@ -515,15 +559,26 @@ class ServingApp:
                 "bad-digest",
                 f"malformed result digest {digest!r}: expected 64 hex chars",
             )
+        # Peers negotiate the *stored entry bytes* (the federation wire
+        # format) instead of the reconstructed JSON view.
+        wants_entry = ENTRY_CONTENT_TYPE in headers.get("accept", "")
         # The representation is immutable per digest: a matching validator
         # plus a stat-only existence probe answers the bodyless 304 without
         # reading (or even JSON-parsing) the artifact payload.
         if if_none_match_matches(headers.get("if-none-match"), digest):
             if self.store.contains(digest):
+                if wants_entry:
+                    # A raw-entry revalidation is a peer serving this
+                    # entry out of its local copy — that's a *use*, so it
+                    # must refresh the entry's LRU position exactly like a
+                    # body-moving read would have.
+                    self.store.backend.touch(digest)
                 return Response(304, None, {"ETag": etag_for(digest)})
             return error_response(
                 404, "unknown-digest", f"no stored result {digest!r}"
             )
+        if wants_entry:
+            return self._serve_raw_entry(digest)
         entry = self.store.read_digest(digest)
         if entry is None:
             return error_response(
@@ -538,6 +593,174 @@ class ServingApp:
                 "artifacts": entry["artifacts"],
             },
             {"ETag": etag_for(entry["digest"])},
+        )
+
+    def _serve_raw_entry(self, digest: str) -> Response:
+        """The stored entry bytes, verbatim — no validation, no healing.
+
+        Serving torn bytes is deliberate: the backend contract is opaque
+        storage, and the *reading* front-end (on the peer that asked)
+        detects corruption and drives the heal via ``DELETE``.
+        """
+        try:
+            data = self.store.backend.read(digest)
+        except OSError:
+            data = None
+        if data is None:
+            return error_response(
+                404, "unknown-digest", f"no stored result {digest!r}"
+            )
+        self._count("entry_reads")
+        return Response(
+            200,
+            data,
+            {"ETag": etag_for(digest)},
+            content_type=ENTRY_CONTENT_TYPE,
+        )
+
+    def _handle_result_put(self, digest: str, body: bytes) -> Response:
+        digest = digest.lower()
+        if not is_digest(digest):
+            return error_response(
+                400,
+                "bad-digest",
+                f"malformed result digest {digest!r}: expected 64 hex chars",
+            )
+        if not self.store.writable:
+            return error_response(
+                403, "read-only", "this store does not accept writes"
+            )
+        if len(body) > self.max_body_bytes:
+            return error_response(
+                413,
+                "payload-too-large",
+                f"body exceeds {self.max_body_bytes} bytes",
+            )
+        if not body:
+            return error_response(
+                400, "empty-body", "expected stored-entry bytes"
+            )
+        if not self.trust_puts:
+            rejection = self._verify_entry_put(digest, body)
+            if rejection is not None:
+                return rejection
+        self.store.backend.write(digest, body)
+        if getattr(self.store.backend, "capped", False):
+            # Same policy as a local put: capped backends hold their size
+            # budget through a post-write gc pass.
+            self.store.gc(sweep_tmp=False)
+        self._count("entry_puts")
+        return Response(
+            201,
+            {
+                "digest": digest,
+                "stored": True,
+                "verified": not self.trust_puts,
+                "size_bytes": len(body),
+            },
+            {"ETag": etag_for(digest)},
+        )
+
+    def _verify_entry_put(self, digest: str, body: bytes) -> Response | None:
+        """Strict replication admission: the body must be a well-formed
+        entry whose canonical spec hash *is* the URL digest.  Returns the
+        structured 4xx rejection, or ``None`` when the entry is genuine.
+        """
+        try:
+            entry = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return error_response(
+                400, "invalid-entry", f"entry body is not JSON: {exc}"
+            )
+        if not isinstance(entry, dict) or entry.get("format") != STORE_FORMAT:
+            return error_response(
+                400,
+                "invalid-entry",
+                f"not a result-store entry (missing {STORE_FORMAT!r} marker)",
+            )
+        if entry.get("schema_version") != self.store.schema_version:
+            return error_response(
+                409,
+                "schema-mismatch",
+                f"entry schema_version {entry.get('schema_version')!r} != "
+                f"server schema_version {self.store.schema_version}",
+            )
+        if entry.get("digest") != digest:
+            return error_response(
+                400,
+                "digest-mismatch",
+                f"entry claims digest {str(entry.get('digest'))[:72]!r}, "
+                f"URL says {digest!r}",
+            )
+        scenario = entry.get("scenario")
+        if not isinstance(scenario, dict):
+            return error_response(
+                400, "invalid-entry", "entry carries no scenario spec object"
+            )
+        # The same canonical serialization the store digests on put —
+        # a body whose spec doesn't hash to its address is rejected no
+        # matter what its digest field claims.
+        canonical = json.dumps(
+            {
+                "schema_version": entry["schema_version"],
+                "scenario": scenario,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        actual = hashlib.sha256(canonical.encode()).hexdigest()
+        if actual != digest:
+            return error_response(
+                400,
+                "digest-mismatch",
+                f"body's canonical spec hash is {actual}, not {digest}",
+            )
+        artifacts = entry.get("artifacts")
+        if (
+            not isinstance(artifacts, dict)
+            or not isinstance(artifacts.get("raw"), dict)
+            or not isinstance(artifacts.get("text"), str)
+        ):
+            return error_response(
+                400, "invalid-entry", "entry artifact payload is malformed"
+            )
+        return None
+
+    def _handle_result_delete(self, digest: str) -> Response:
+        digest = digest.lower()
+        if not is_digest(digest):
+            return error_response(
+                400,
+                "bad-digest",
+                f"malformed result digest {digest!r}: expected 64 hex chars",
+            )
+        if not self.store.writable:
+            return error_response(
+                403, "read-only", "this store does not accept deletes"
+            )
+        if not self.store.backend.delete(digest):
+            return error_response(
+                404, "unknown-digest", f"no stored result {digest!r}"
+            )
+        self._count("entry_deletes")
+        return Response(200, {"digest": digest, "deleted": True})
+
+    def _handle_store_entries(self) -> Response:
+        entries = [
+            {
+                "digest": entry.digest,
+                "size_bytes": entry.size_bytes,
+                "mtime": entry.mtime,
+            }
+            for entry in self.store.backend.entries()
+        ]
+        return Response(
+            200,
+            {
+                "entries": entries,
+                "n_entries": len(entries),
+                "total_bytes": sum(e["size_bytes"] for e in entries),
+            },
         )
 
     #: Content negotiation (the ``/results/<digest>/<stage>`` routes): each

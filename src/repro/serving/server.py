@@ -14,6 +14,12 @@ serialized by the app's compute lock.  ``HTTP/1.1`` keep-alive is enabled
 are rejected *before* the body is read, and the connection is closed so an
 unread body can never desynchronize the stream.
 
+Compression is negotiated per message: 200 responses of ≥512 bytes are
+gzip'd when ``Accept-Encoding`` admits it (and it actually shrinks the
+payload), and ``Content-Encoding: gzip`` request bodies are inflated with
+a hard ceiling on the *decompressed* size — a gzip bomb answers the same
+structured 413 an honestly-huge body would.
+
 Usage::
 
     server = create_server(port=0, store=ResultStore(cache_dir))
@@ -26,13 +32,19 @@ or from the shell: ``python -m repro serve --port 8035``.
 
 from __future__ import annotations
 
+import gzip
 import sys
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.scenarios.store import ResultStore
 from repro.serving.app import MAX_BODY_BYTES, Response, ServingApp, error_response
+
+#: Response bodies below this aren't worth a gzip round trip (the frame
+#: overhead would often make them bigger).
+GZIP_MIN_BYTES = 512
 
 
 class ReproHTTPServer(ThreadingHTTPServer):
@@ -110,12 +122,47 @@ class _Handler(BaseHTTPRequestHandler):
                 "payload-too-large",
                 f"body exceeds {self.server.app.max_body_bytes} bytes",
             )
-        return self.rfile.read(length)
+        return self._decode_content(self.rfile.read(length))
+
+    def _decode_content(self, body: bytes) -> bytes | Response:
+        """Apply ``Content-Encoding`` (gzip only) with a hard ceiling on
+        the *decompressed* size — a tiny gzip bomb must answer the same
+        413 an honestly-huge body would, not balloon the process."""
+        encoding = (self.headers.get("Content-Encoding") or "").strip().lower()
+        if encoding in ("", "identity"):
+            return body
+        if encoding != "gzip":
+            self.close_connection = True
+            return error_response(
+                415,
+                "unsupported-encoding",
+                f"Content-Encoding {encoding!r} is not accepted (gzip only)",
+            )
+        limit = self.server.app.max_body_bytes
+        decomp = zlib.decompressobj(wbits=31)  # gzip wrapper
+        try:
+            inflated = decomp.decompress(body, limit + 1)
+        except zlib.error as exc:
+            return error_response(
+                400, "bad-encoding", f"gzip body did not decode: {exc}"
+            )
+        if len(inflated) > limit:
+            self.close_connection = True
+            return error_response(
+                413,
+                "payload-too-large",
+                f"decompressed body exceeds {limit} bytes",
+            )
+        if not decomp.eof:
+            return error_response(
+                400, "bad-encoding", "truncated gzip body"
+            )
+        return inflated
 
     def _dispatch(self, method: str) -> None:
         try:
             body = b""
-            if method == "POST":
+            if method in ("POST", "PUT"):
                 body = self._read_body()
                 if isinstance(body, Response):
                     self._send(body)
@@ -140,6 +187,25 @@ class _Handler(BaseHTTPRequestHandler):
             # answer.
             self.close_connection = True
 
+    def _accepts_gzip(self) -> bool:
+        """Whether the request's ``Accept-Encoding`` admits gzip (with a
+        non-zero q-value)."""
+        header = self.headers.get("Accept-Encoding", "")
+        for token in header.split(","):
+            name, _, params = token.strip().lower().partition(";")
+            if name.strip() != "gzip":
+                continue
+            q = 1.0
+            for param in params.split(";"):
+                key, _, value = param.strip().partition("=")
+                if key.strip() == "q":
+                    try:
+                        q = float(value)
+                    except ValueError:
+                        q = 0.0
+            return q > 0
+        return False
+
     def _send(self, response: Response, head_only: bool = False) -> None:
         self.send_response(response.status)
         for name, value in response.headers.items():
@@ -152,6 +218,19 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             return
         payload = response.body_bytes()
+        # Transparent response compression: only when the client asked,
+        # only when it pays for itself.  mtime=0 keeps the compressed
+        # bytes deterministic per payload (cache-friendly).
+        if (
+            response.status == 200
+            and len(payload) >= GZIP_MIN_BYTES
+            and self._accepts_gzip()
+        ):
+            compressed = gzip.compress(payload, compresslevel=1, mtime=0)
+            if len(compressed) < len(payload):
+                payload = compressed
+                self.send_header("Content-Encoding", "gzip")
+                self.send_header("Vary", "Accept-Encoding")
         self.send_header(
             "Content-Type", response.content_type or "application/json"
         )
@@ -204,6 +283,7 @@ def create_server(
     max_body_bytes: int = MAX_BODY_BYTES,
     job_workers: int | None = None,
     max_queue: int | None = None,
+    trust_puts: bool = False,
     quiet: bool = True,
 ) -> ReproHTTPServer:
     """Build a ready-to-serve daemon (``port=0`` binds an ephemeral port).
@@ -215,7 +295,10 @@ def create_server(
     (``cache_dir``/``max_cache_bytes``/``max_cache_entries``/``shard``)
     to have one built.  ``job_workers``/``max_queue`` size the async job
     engine behind cold ``POST /run`` (CLI ``--job-workers``/
-    ``--max-queue``); ``None`` keeps the app defaults.
+    ``--max-queue``); ``None`` keeps the app defaults.  ``trust_puts``
+    stores ``PUT /results/<digest>`` bodies opaquely instead of verifying
+    them against the digest (CLI ``--trust-puts`` — trusted clusters
+    only).
     """
     if store is not None and cache is not None:
         raise ConfigError(
@@ -253,7 +336,11 @@ def create_server(
     if max_queue is not None:
         job_knobs["max_queue"] = max_queue
     app = ServingApp(
-        store, workers=workers, max_body_bytes=max_body_bytes, **job_knobs
+        store,
+        workers=workers,
+        max_body_bytes=max_body_bytes,
+        trust_puts=trust_puts,
+        **job_knobs,
     )
     return ReproHTTPServer((host, port), app, quiet=quiet)
 

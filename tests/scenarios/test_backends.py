@@ -2,7 +2,9 @@
 
 The same put/get round-trip, LRU eviction order, corrupt-entry handling
 and digest-stability checks run against ``LocalFSBackend``,
-``InMemoryBackend`` and a mem-over-file ``TieredStore`` — any backend that
+``InMemoryBackend``, a mem-over-file ``TieredStore``, and the *remote*
+backends — ``HTTPPeerBackend`` and a one-node ``HashRingBackend``, each
+storing its bytes in a live in-process daemon — any backend that
 passes serves byte-identical artifacts through the front-end.  Mirror- and
 tier-specific policies (read-only refusal, skip-not-heal, promotion,
 write-back) and the URL address syntax are pinned separately below.
@@ -20,6 +22,8 @@ from repro.errors import ConfigError
 from repro.scenarios import Scenario
 from repro.scenarios.backends import (
     STORE_FORMAT,
+    HTTPPeerBackend,
+    HashRingBackend,
     InMemoryBackend,
     LocalFSBackend,
     ReadOnlyMirrorBackend,
@@ -53,19 +57,31 @@ def entry_bytes(digest: str, tag: str = "raw") -> bytes:
     ).encode()
 
 
-BACKENDS = ("file", "mem", "tiered")
+BACKENDS = ("file", "mem", "tiered", "http", "ring")
 
 
 @pytest.fixture(params=BACKENDS)
 def backend(request, tmp_path):
-    """One instance of each conformance-suite backend."""
+    """One instance of each conformance-suite backend.
+
+    The remote flavors (``http``, ``ring``) store their bytes in a live
+    in-process daemon — the proof that the protocol abstraction is real.
+    The daemons run in trusted-puts mode because the raw backend contract
+    is opaque byte storage (torn/foreign bytes must round-trip; the
+    *reading* front-end owns validation), exactly like a cache directory.
+    """
     if request.param == "file":
         return LocalFSBackend(tmp_path / "fs")
     if request.param == "mem":
         return InMemoryBackend()
-    return TieredStore(
-        [InMemoryBackend(), LocalFSBackend(tmp_path / "tier-fs")]
-    )
+    if request.param == "tiered":
+        return TieredStore(
+            [InMemoryBackend(), LocalFSBackend(tmp_path / "tier-fs")]
+        )
+    daemon = request.getfixturevalue("live_daemon")(trust_puts=True)
+    if request.param == "http":
+        return HTTPPeerBackend(daemon.url)
+    return HashRingBackend([f"{daemon.host}:{daemon.port}"])
 
 
 @pytest.fixture

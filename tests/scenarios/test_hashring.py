@@ -1,0 +1,300 @@
+"""Consistent-hash ring properties: stability, determinism, routing.
+
+The ring is the federation's correctness core, so its guarantees are
+pinned three ways: *property-based* (membership changes remap O(K/N) of
+K digests, never a reshuffle), *cross-process* (routing is pure sha256 —
+a subprocess with a different ``PYTHONHASHSEED`` routes identically, and
+pinned literals freeze the layout forever), and *behavioral* (a
+``HashRingBackend`` over fake in-memory peers places, heals and
+invalidates entries exactly where the ring says).  Seeded ``random``
+only.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios.backends import (
+    HashRing,
+    HashRingBackend,
+    InMemoryBackend,
+    backend_from_url,
+)
+
+N_DIGESTS = 600
+
+
+def random_digests(seed: int, n: int = N_DIGESTS) -> list[str]:
+    rng = random.Random(seed)
+    return ["%064x" % rng.getrandbits(256) for _ in range(n)]
+
+
+class TestRingConstruction:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ConfigError):
+            HashRing([])
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            HashRing(["a"], replicas=0)
+        with pytest.raises(ConfigError):
+            HashRing(["a"], vnodes=0)
+
+    def test_duplicate_nodes_collapse(self):
+        ring = HashRing(["a", "b", "a"])
+        assert ring.nodes == ("a", "b")
+
+    def test_replicas_capped_at_node_count(self):
+        ring = HashRing(["a", "b"], replicas=5)
+        assert ring.replicas == 2
+
+    def test_owners_are_distinct_and_sized(self):
+        ring = HashRing(["a", "b", "c", "d"], replicas=3)
+        for digest in random_digests(0x0121, 50):
+            owners = ring.owners(digest)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+            assert set(owners) <= set(ring.nodes)
+
+
+class TestRingStability:
+    """Adding/removing one node remaps ~K/N of K digests, not everything."""
+
+    def test_adding_one_node_remaps_a_small_fraction(self):
+        digests = random_digests(0xADD)
+        nodes = [f"node-{i}" for i in range(5)]
+        before = HashRing(nodes)
+        after = HashRing(nodes + ["node-5"])
+        moved = sum(
+            before.primary(d) != after.primary(d) for d in digests
+        )
+        # Expected ~K/(N+1) ≈ 16.7%; allow 2× slack.  A naive mod-N hash
+        # would remap ~83%.
+        assert moved / len(digests) <= 2 / (len(nodes) + 1)
+        # Survivors keep their owner: every move goes *to* the new node.
+        for digest in digests:
+            if before.primary(digest) != after.primary(digest):
+                assert after.primary(digest) == "node-5"
+
+    def test_removing_one_node_remaps_only_its_share(self):
+        digests = random_digests(0x3E30)
+        nodes = [f"node-{i}" for i in range(5)]
+        before = HashRing(nodes)
+        after = HashRing(nodes[:-1])
+        for digest in digests:
+            if before.primary(digest) != "node-4":
+                # Digests not owned by the removed node never move.
+                assert after.primary(digest) == before.primary(digest)
+        orphaned = sum(before.primary(d) == "node-4" for d in digests)
+        assert orphaned / len(digests) <= 2 / len(nodes)
+
+    def test_shards_are_roughly_balanced(self):
+        digests = random_digests(0xBA7A)
+        ring = HashRing([f"node-{i}" for i in range(5)])
+        shares = Counter(ring.primary(d) for d in digests)
+        fair = len(digests) / len(ring.nodes)
+        assert set(shares) == set(ring.nodes)
+        for node, count in shares.items():
+            assert 0.3 * fair <= count <= 2.0 * fair, (node, count)
+
+
+class TestRingDeterminism:
+    """Routing must be a pure function of (nodes, replicas, vnodes) — any
+    per-process hash seed leaking in would split the cluster's view of
+    digest ownership."""
+
+    #: Frozen layout: changing these constants silently re-shards every
+    #: deployed cluster, so a change here must be deliberate.
+    PINNED = {
+        "00" * 32: ("node-c", "node-b"),
+        "ab" * 32: ("node-b", "node-c"),
+        "f7" * 32: ("node-b", "node-c"),
+        "3c" * 32: ("node-b", "node-c"),
+    }
+
+    def test_pinned_owner_literals(self):
+        ring = HashRing(["node-a", "node-b", "node-c"], replicas=2)
+        for digest, owners in self.PINNED.items():
+            assert ring.owners(digest) == owners
+
+    def test_identical_across_processes(self):
+        digests = random_digests(0xDE7, 40)
+        ring = HashRing(["alpha", "beta", "gamma"], replicas=2)
+        local = {d: list(ring.owners(d)) for d in digests}
+        script = (
+            "import json, sys\n"
+            "from repro.scenarios.backends import HashRing\n"
+            "digests = json.load(sys.stdin)\n"
+            "ring = HashRing(['alpha', 'beta', 'gamma'], replicas=2)\n"
+            "print(json.dumps({d: list(ring.owners(d)) for d in digests}))\n"
+        )
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(digests),
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src_root, "PYTHONHASHSEED": "12345"},
+            check=True,
+        )
+        assert json.loads(proc.stdout) == local
+
+    def test_node_order_does_not_matter(self):
+        forward = HashRing(["a", "b", "c"], replicas=2)
+        shuffled = HashRing(["c", "a", "b"], replicas=2)
+        for digest in random_digests(0x0DE2, 50):
+            assert forward.owners(digest) == shuffled.owners(digest)
+
+
+def ring_of_fakes(n: int = 3, *, replicas: int = 1) -> HashRingBackend:
+    """A ring over in-memory fake peers — routing without sockets."""
+    peers = {f"node-{i}": InMemoryBackend() for i in range(n)}
+    return HashRingBackend(peers=peers, replicas=replicas)
+
+
+class TestRingBackendRouting:
+    def test_writes_land_on_owners_only(self):
+        ring = ring_of_fakes(3, replicas=2)
+        for digest in random_digests(0x0112, 30):
+            data = json.dumps({"digest": digest}).encode()
+            ring.write(digest, data)
+            owners = set(ring.ring.owners(digest))
+            for node, peer in ring.peers.items():
+                assert peer.contains(digest) == (node in owners)
+            assert ring.read(digest) == data
+
+    def test_secondary_hit_heals_the_primary(self):
+        ring = ring_of_fakes(4, replicas=2)
+        digest = "ab" * 32
+        data = b'{"digest": "replica"}'
+        primary, secondary = ring.ring.owners(digest)
+        ring.peers[secondary].write(digest, data)
+        assert not ring.peers[primary].contains(digest)
+        assert ring.read(digest) == data
+        # The read healed the primary; the next read stops there.
+        assert ring.peers[primary].contains(digest)
+        assert ring.counters.promotions == 1
+
+    def test_delete_reaches_every_node(self):
+        ring = ring_of_fakes(3)
+        digest = "cd" * 32
+        # Simulate a membership change having stranded a copy on a
+        # non-owner: invalidation must still find it.
+        for peer in ring.peers.values():
+            peer.write(digest, b"{}")
+        assert ring.delete(digest)
+        assert all(
+            not peer.contains(digest) for peer in ring.peers.values()
+        )
+
+    def test_entries_union_deduplicates(self):
+        ring = ring_of_fakes(3, replicas=2)
+        digests = random_digests(0x0E17, 20)
+        for digest in digests:
+            ring.write(digest, b'{"x": 1}')
+        listed = [entry.digest for entry in ring.entries()]
+        assert sorted(listed) == sorted(digests)
+
+    def test_write_raises_only_when_every_owner_fails(self):
+        class DarkBackend(InMemoryBackend):
+            def write(self, digest, data):
+                raise OSError("node down")
+
+        peers = {"up": InMemoryBackend(), "down": DarkBackend()}
+        ring = HashRingBackend(peers=peers, replicas=2)
+        digest = "ef" * 32
+        ring.write(digest, b"{}")  # one replica is enough
+        assert peers["up"].contains(digest)
+        all_dark = HashRingBackend(
+            peers={"d1": DarkBackend(), "d2": DarkBackend()}, replicas=2
+        )
+        with pytest.raises(OSError):
+            all_dark.write(digest, b"{}")
+
+    def test_clear_counts_unique_entries(self):
+        ring = ring_of_fakes(3, replicas=2)
+        digests = random_digests(0xC1EA, 10)
+        for digest in digests:
+            ring.write(digest, b"{}")
+        assert ring.clear() == len(digests)
+        assert list(ring.entries()) == []
+
+    def test_stats_shape(self):
+        ring = ring_of_fakes(3, replicas=2)
+        ring.write("ab" * 32, b'{"pad": "xyz"}')
+        stats = ring.stats()
+        assert stats["kind"] == "ring"
+        assert stats["replicas"] == 2
+        assert stats["n_entries"] == 1
+        assert len(stats["nodes"]) == 3
+        assert stats["counters"]["writes"] == 1
+
+
+class TestRingUrls:
+    def test_ring_url_parses(self):
+        backend = backend_from_url(
+            "ring://peer-a:8035;peer-b:8035?replicas=2&vnodes=32"
+        )
+        assert isinstance(backend, HashRingBackend)
+        assert backend.ring.replicas == 2
+        assert backend.ring.vnodes == 32
+        assert set(backend.peers) == {
+            "http://peer-a:8035",
+            "http://peer-b:8035",
+        }
+
+    def test_ring_url_round_trips_through_url_property(self):
+        backend = backend_from_url("ring://a:1;b:2?replicas=2")
+        assert backend.url == "ring://a:1;b:2?replicas=2&vnodes=64"
+
+    def test_ring_url_errors(self):
+        for url in (
+            "ring://",
+            "ring://;;",
+            "ring://a:1?replicas=0",
+            "ring://a:1?vnodes=0",
+            "ring://a:1?bogus=1",
+            "ring://a:1?timeout=-2",
+        ):
+            with pytest.raises(ConfigError):
+                backend_from_url(url)
+
+    def test_http_url_parses(self):
+        from repro.scenarios.backends import HTTPPeerBackend
+
+        backend = backend_from_url(
+            "http://peer:8035?timeout=3&gzip=0&revalidate_bytes=1024"
+        )
+        assert isinstance(backend, HTTPPeerBackend)
+        assert backend.timeout == 3.0
+        assert backend.use_gzip is False
+        assert backend.revalidate_bytes == 1024
+        assert backend.url == "http://peer:8035"
+
+    def test_http_url_errors(self):
+        for url in (
+            "http://",
+            "http://peer:8035?bogus=1",
+            "http://peer:8035?timeout=zero",
+            "http://peer:8035?timeout=0",
+            "http://peer:8035?gzip=maybe",
+        ):
+            with pytest.raises(ConfigError):
+                backend_from_url(url)
+
+    def test_ring_inside_a_tier_list(self):
+        from repro.scenarios.backends import TieredStore
+
+        backend = backend_from_url("mem://,ring://a:1;b:2")
+        assert isinstance(backend, TieredStore)
+        assert isinstance(backend.tiers[1], HashRingBackend)

@@ -1,17 +1,21 @@
-"""Serving-suite fixtures: isolated store + a live threaded server."""
+"""Serving-suite fixtures: isolated store + a live threaded server.
+
+Server lifecycle (ephemeral port, clean ``server_close()``) comes from
+the shared :func:`repro.serving.testing.launch_daemon` harness; this
+conftest only adds the decoded-reply conveniences the suite asserts on.
+"""
 
 from __future__ import annotations
 
 import http.client
 import json
-import threading
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 import pytest
 
 from repro.scenarios.store import CACHE_DIR_ENV, ResultStore
-from repro.serving import create_server
+from repro.serving.testing import launch_daemon
 
 
 @pytest.fixture(autouse=True)
@@ -76,13 +80,5 @@ class LiveServer:
 @pytest.fixture
 def live_server(isolated_cache_dir):
     """A daemon over the isolated store; shut down cleanly afterwards."""
-    server = create_server(port=0, store=ResultStore(isolated_cache_dir))
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        yield LiveServer(server)
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=10)
-        assert not thread.is_alive(), "server thread failed to shut down"
+    with launch_daemon(store=ResultStore(isolated_cache_dir)) as daemon:
+        yield LiveServer(daemon.server)

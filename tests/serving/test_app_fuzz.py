@@ -324,6 +324,162 @@ class TestJobRoutes:
         assert response.body["jobs"] == []
 
 
+class TestEntryPutRoutes:
+    """The federation write surface (``PUT``/``DELETE /results/<digest>``,
+    ``GET /store/entries``) inherits the no-500 contract: random and
+    tampered bodies are structured 4xx, never crashes, never stores."""
+
+    def test_random_binary_put_bodies_never_500(self, app):
+        rng = random.Random(0x9047)
+        for _ in range(N_CASES):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randint(0, 256))
+            )
+            response = app.handle("PUT", "/results/" + "ab" * 32, blob)
+            assert_structured_4xx(response, 400)
+        assert app.store.n_entries == 0  # nothing hostile was stored
+
+    def test_bad_put_digests_are_400(self, app):
+        from tests.serving.test_federation import produce_entry
+
+        _, entry = produce_entry("fuzz-bad-digest")
+        rng = random.Random(0xBADD)
+        for _ in range(N_CASES):
+            digest = "".join(
+                rng.choice(string.hexdigits + "xyz!")
+                for _ in range(rng.choice((8, 40, 63, 65, 128)))
+            )
+            response = app.handle("PUT", f"/results/{digest}", entry)
+            assert_structured_4xx(response, 400)
+            assert response.body["error"] == "bad-digest"
+
+    def test_mutated_entries_never_verify(self, app):
+        # Flip one drawn key of a *valid* entry per case: whatever was
+        # touched, the strict verifier answers a structured 4xx and the
+        # store stays empty — the poisoned-write surface is closed.
+        from tests.serving.test_federation import produce_entry
+
+        digest, entry = produce_entry("fuzz-mutated")
+        base = json.loads(entry)
+        # Only the fields the verifier binds: mutating side metadata
+        # (provenance…) legitimately still stores.
+        verified_keys = [
+            k
+            for k in ("format", "schema_version", "digest", "scenario", "artifacts")
+            if k in base
+        ]
+        rng = random.Random(0x3407)
+        for _ in range(N_CASES):
+            doc = json.loads(entry)
+            key = rng.choice(verified_keys)
+            mutation = rng.randrange(3)
+            if mutation == 0:
+                doc.pop(key, None)
+            elif mutation == 1:
+                doc[key] = rng.choice([None, 1.5, [], {}, "zzz", -1])
+            else:
+                doc[key] = {"nested": [key]}
+            if doc == base:
+                continue
+            response = app.handle(
+                "PUT", f"/results/{digest}", json.dumps(doc).encode()
+            )
+            assert_structured_4xx(response)
+            assert response.body["error"] in (
+                "invalid-entry",
+                "digest-mismatch",
+                "schema-mismatch",
+            )
+        assert not app.store.contains(digest)
+
+    def test_valid_entry_round_trips(self, app):
+        from tests.serving.test_federation import produce_entry
+
+        digest, entry = produce_entry("fuzz-valid")
+        response = app.handle("PUT", f"/results/{digest}", entry)
+        assert response.status == 201
+        assert response.body["verified"] is True
+        assert app.handle("GET", f"/results/{digest}").status == 200
+
+    def test_read_only_store_rejects_puts(self, tmp_path):
+        from tests.serving.test_federation import produce_entry
+
+        ro_app = ServingApp(ResultStore(f"ro://{tmp_path}/mirror"))
+        digest, entry = produce_entry("fuzz-readonly")
+        response = ro_app.handle("PUT", f"/results/{digest}", entry)
+        assert_structured_4xx(response, 403)
+        assert response.body["error"] == "read-only"
+
+    def test_trusted_mode_accepts_opaque_bytes(self, tmp_path):
+        app = ServingApp(ResultStore(tmp_path / "trusted"), trust_puts=True)
+        rng = random.Random(0x7205)
+        for index in range(32):
+            digest = "%064x" % rng.getrandbits(256)
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randint(1, 64))
+            )
+            response = app.handle("PUT", f"/results/{digest}", blob)
+            assert response.status == 201, response
+            assert response.body["verified"] is False
+            assert app.store.n_entries == index + 1
+
+    def test_empty_put_body_is_400(self, app):
+        response = app.handle("PUT", "/results/" + "ab" * 32, b"")
+        assert_structured_4xx(response, 400)
+
+    def test_oversize_put_body_is_413(self, tmp_path):
+        app = ServingApp(ResultStore(tmp_path / "s"), max_body_bytes=64)
+        response = app.handle("PUT", "/results/" + "ab" * 32, b"x" * 65)
+        assert_structured_4xx(response, 413)
+
+    def test_delete_fuzz(self, app):
+        rng = random.Random(0xDE1E)
+        for _ in range(N_CASES):
+            digest = "".join(
+                rng.choice(string.hexdigits + "xyz!")
+                for _ in range(rng.choice((8, 63, 64, 65)))
+            )
+            response = app.handle("DELETE", f"/results/{digest}")
+            lowered = digest.lower()
+            if len(lowered) == 64 and all(
+                c in "0123456789abcdef" for c in lowered
+            ):
+                assert_structured_4xx(response, 404)
+                assert response.body["error"] == "unknown-digest"
+            else:
+                assert_structured_4xx(response, 400)
+                assert response.body["error"] == "bad-digest"
+
+    def test_delete_then_get_is_404(self, app):
+        from tests.serving.test_federation import produce_entry
+
+        digest, entry = produce_entry("fuzz-delete")
+        assert app.handle("PUT", f"/results/{digest}", entry).status == 201
+        response = app.handle("DELETE", f"/results/{digest}")
+        assert response.status == 200
+        assert response.body == {"digest": digest, "deleted": True}
+        assert_structured_4xx(app.handle("GET", f"/results/{digest}"), 404)
+
+    def test_store_entries_is_get_only(self, app):
+        for method in ("POST", "PUT", "DELETE"):
+            assert_structured_4xx(app.handle(method, "/store/entries"), 405)
+
+    def test_store_entries_reflects_puts(self, app):
+        from tests.serving.test_federation import produce_entry
+
+        digest, entry = produce_entry("fuzz-entries")
+        assert app.handle("GET", "/store/entries").body == {
+            "entries": [],
+            "n_entries": 0,
+            "total_bytes": 0,
+        }
+        app.handle("PUT", f"/results/{digest}", entry)
+        listing = app.handle("GET", "/store/entries").body
+        assert listing["n_entries"] == 1
+        assert listing["entries"][0]["digest"] == digest
+        assert listing["entries"][0]["size_bytes"] == len(entry)
+
+
 class TestIfNoneMatch:
     def test_matching_forms(self):
         digest = "ab" * 32
